@@ -1,0 +1,50 @@
+# Convenience targets. Everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race short bench fuzz vet fmt experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/runner ./internal/counter ./internal/sim .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Continuous fuzzing entry points (each runs until interrupted).
+fuzz:
+	$(GO) test -fuzz=FuzzApplyTokensStep -fuzztime=30s ./internal/runner
+	$(GO) test -fuzz=FuzzComparatorsSort -fuzztime=30s ./internal/runner
+	$(GO) test -fuzz=FuzzJSONUnmarshal -fuzztime=30s ./internal/network
+
+experiments:
+	$(GO) run ./cmd/experiments
+
+verify:
+	$(GO) run ./cmd/verifyall
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/isomorphism
+	$(GO) run ./examples/tradeoff 96
+	$(GO) run ./examples/loadbalance
+	$(GO) run ./examples/concurrent
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,313 @@
+package countnet
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"countnet/internal/baseline"
+	"countnet/internal/core"
+	"countnet/internal/counter"
+	"countnet/internal/pool"
+	"countnet/internal/runner"
+)
+
+// ---- E1/E2/E3/E11: construction benchmarks -------------------------------
+
+// BenchmarkBuildK measures construction of K networks (E1, E11).
+func BenchmarkBuildK(b *testing.B) {
+	cases := []struct {
+		name string
+		fs   []int
+	}{
+		{"n3_w30", []int{2, 3, 5}},
+		{"n4_w256", []int{4, 4, 4, 4}},
+		{"n6_w64", []int{2, 2, 2, 2, 2, 2}},
+		{"n10_w1024", []int{2, 2, 2, 2, 2, 2, 2, 2, 2, 2}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.K(c.fs...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBuildL measures construction of L networks (E2, E11).
+func BenchmarkBuildL(b *testing.B) {
+	cases := []struct {
+		name string
+		fs   []int
+	}{
+		{"n2_w35", []int{7, 5}},
+		{"n3_w120", []int{6, 5, 4}},
+		{"n5_w32", []int{2, 2, 2, 2, 2}},
+		{"n8_w256", []int{2, 2, 2, 2, 2, 2, 2, 2}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.L(c.fs...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBuildR measures construction of R(p,q) (E3).
+func BenchmarkBuildR(b *testing.B) {
+	cases := [][2]int{{4, 4}, {9, 9}, {16, 16}, {31, 37}}
+	for _, c := range cases {
+		b.Run(benchName("R", c[0], c[1]), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.R(c[0], c[1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBuildBaselines measures the classical constructions (E5).
+func BenchmarkBuildBaselines(b *testing.B) {
+	b.Run("bitonic_1024", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.Bitonic(1024); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("periodic_256", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.Periodic(256); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- E4: the family sweep -------------------------------------------------
+
+// BenchmarkE4FamilyBuild builds every member of the width-64 family
+// per iteration, the constructive cost of the paper's trade-off curve.
+func BenchmarkE4FamilyBuild(b *testing.B) {
+	fss := Factorizations(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, fs := range fss {
+			if _, err := core.L(fs...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// ---- E12: comparator-engine sorting ----------------------------------------
+
+// BenchmarkSortNetworks measures batch sorting through the comparator
+// engine across factorizations of width 64, plus the bitonic baseline
+// and the standard library for scale (E12).
+func BenchmarkSortNetworks(b *testing.B) {
+	nets := map[string]*Network{}
+	for _, fs := range [][]int{{8, 8}, {4, 4, 4}, {2, 2, 2, 2, 2, 2}} {
+		n, err := NewL(fs...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nets[n.Name()] = n
+	}
+	bi, _ := NewBitonic(64)
+	nets[bi.Name()] = bi
+
+	rng := rand.New(rand.NewSource(3))
+	in := make([]int64, 64)
+	for i := range in {
+		in[i] = int64(rng.Intn(10000))
+	}
+	for name, n := range nets {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := n.Sort(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("stdlib_sort64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tmp := append([]int64(nil), in...)
+			sort.Slice(tmp, func(a, c int) bool { return tmp[a] < tmp[c] })
+		}
+	})
+}
+
+// ---- E6/E7: verification engines -------------------------------------------
+
+// BenchmarkQuiescentTokens measures the token transfer engine used by
+// every verification battery (E6/E7 substrate).
+func BenchmarkQuiescentTokens(b *testing.B) {
+	n, err := core.L(4, 4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := make([]int64, n.Width())
+	rng := rand.New(rand.NewSource(4))
+	for i := range in {
+		in[i] = int64(rng.Intn(100))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner.ApplyTokens(n, in)
+	}
+}
+
+// ---- E9: concurrent counter throughput --------------------------------------
+
+// BenchmarkCounter measures Fetch&Increment under RunParallel for the
+// counting-network counters across the width-16 family, against the
+// centralized baselines (E9; the [9]-style study).
+func BenchmarkCounter(b *testing.B) {
+	run := func(name string, c counter.Counter) {
+		b.Run(name, func(b *testing.B) {
+			var id int64
+			b.RunParallel(func(pb *testing.PB) {
+				local := c
+				if h, ok := c.(counter.Handled); ok {
+					id++
+					local = h.Handle(int(id))
+				}
+				for pb.Next() {
+					local.Next()
+				}
+			})
+		})
+	}
+	run("atomic", counter.NewAtomicCounter())
+	run("mutex", counter.NewMutexCounter())
+	for _, fs := range [][]int{{16}, {8, 2}, {4, 4}, {4, 2, 2}, {2, 2, 2, 2}} {
+		n, err := core.L(fs...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run("network_"+n.Name, counter.NewNetworkCounter(n, false))
+	}
+	n, _ := core.L(4, 4)
+	run("network_mutex_L(4,4)", counter.NewNetworkCounter(n, true))
+}
+
+// BenchmarkTraverse measures the per-token network walk alone.
+func BenchmarkTraverse(b *testing.B) {
+	for _, fs := range [][]int{{4, 4}, {2, 2, 2, 2}} {
+		n, err := core.L(fs...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := runner.Compile(n)
+		b.Run(n.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a.Traverse(i & 15)
+			}
+		})
+	}
+}
+
+// ---- E10: recursive accounting ----------------------------------------------
+
+// BenchmarkMergerBuild isolates the merger construction (E10).
+func BenchmarkMergerBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MergerNetwork(core.KConfig(), 2, 3, 4, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E8: staircase variants ---------------------------------------------------
+
+// BenchmarkStaircaseVariants builds each staircase variant (E8).
+func BenchmarkStaircaseVariants(b *testing.B) {
+	kinds := []core.StaircaseKind{
+		core.StaircaseOptBase, core.StaircaseOptBitonic,
+		core.StaircaseBasic, core.StaircaseBasicSub,
+	}
+	for _, kind := range kinds {
+		cfg := core.Config{Base: core.BalancerBase, Staircase: kind}
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.StaircaseNetwork(cfg, 6, 4, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- application-layer benchmarks -------------------------------------------
+
+// BenchmarkPool measures the counting-network pool's put/get round trip
+// under RunParallel against a channel baseline.
+func BenchmarkPool(b *testing.B) {
+	n, err := core.L(4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("network_pool", func(b *testing.B) {
+		p := pool.New[int](n)
+		var id int64
+		b.RunParallel(func(pb *testing.PB) {
+			id++
+			h := p.Handle(int(id))
+			for pb.Next() {
+				h.Put(1)
+				h.Get()
+			}
+		})
+	})
+	b.Run("channel", func(b *testing.B) {
+		ch := make(chan int, 1024)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				ch <- 1
+				<-ch
+			}
+		})
+	})
+}
+
+// BenchmarkWrappedInject measures the cyclic wrapped scheme's per-token
+// cost at a wrapping and a non-wrapping width (E15's latency point).
+func BenchmarkWrappedInject(b *testing.B) {
+	for _, w := range []int{8, 10} {
+		c, err := baseline.NewWrapped(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(benchName("w", w, c.InnerWidth()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.Inject(i % w)
+			}
+		})
+	}
+}
+
+func benchName(prefix string, p, q int) string {
+	return prefix + "_" + itoa(p) + "x" + itoa(q)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,102 @@
+// Command countbench measures concurrent Fetch&Increment throughput
+// for counting-network counters against centralized baselines — the
+// repository's interactive version of the E9 experiment ([9]-style
+// contention study).
+//
+// Usage:
+//
+//	countbench                                # default sweep, width 16
+//	countbench -width 32 -duration 200ms      # wider network, longer windows
+//	countbench -goroutines 1,4,16             # explicit thread counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"countnet/internal/bench"
+	"countnet/internal/core"
+	"countnet/internal/counter"
+	"countnet/internal/factor"
+	"countnet/internal/stats"
+)
+
+func main() {
+	var (
+		width      = flag.Int("width", 16, "counting network width (all factorizations are swept)")
+		duration   = flag.Duration("duration", 100*time.Millisecond, "measurement window per cell")
+		goroutines = flag.String("goroutines", "", "comma-separated goroutine counts (default: 1,2,4,... to 2x GOMAXPROCS)")
+		mutex      = flag.Bool("mutex", false, "also measure lock-based balancers")
+		repeat     = flag.Int("repeat", 3, "measurements per cell; cells report mean and relative stddev")
+	)
+	flag.Parse()
+	if *repeat < 1 {
+		*repeat = 1
+	}
+
+	steps := bench.DefaultGoroutineSteps()
+	if *goroutines != "" {
+		steps = steps[:0]
+		for _, part := range strings.Split(*goroutines, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v < 1 {
+				fmt.Fprintf(os.Stderr, "countbench: bad goroutine count %q\n", part)
+				os.Exit(2)
+			}
+			steps = append(steps, v)
+		}
+	}
+
+	tbl := &bench.Table{
+		ID:    "countbench",
+		Title: fmt.Sprintf("Fetch&Increment throughput, width %d (ops/sec)", *width),
+	}
+	tbl.Header = []string{"counter"}
+	for _, g := range steps {
+		tbl.Header = append(tbl.Header, fmt.Sprintf("g=%d", g))
+	}
+
+	measure := func(name string, mk func() counter.Counter) {
+		row := []interface{}{name}
+		for _, g := range steps {
+			s := stats.Repeat(*repeat, func() float64 {
+				return bench.MeasureCounter(mk(), bench.ThroughputOptions{Goroutines: g, Duration: *duration})
+			})
+			cell := fmt.Sprintf("%.2fM", s.Mean/1e6)
+			if *repeat > 1 {
+				cell += fmt.Sprintf("±%.0f%%", 100*s.RelStddev())
+			}
+			row = append(row, cell)
+		}
+		tbl.AddRow(row...)
+	}
+
+	measure("atomic", func() counter.Counter { return counter.NewAtomicCounter() })
+	measure("mutex", func() counter.Counter { return counter.NewMutexCounter() })
+	for _, fs := range factor.Factorizations(*width, 2) {
+		fs := fs
+		net, err := core.L(fs...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "countbench:", err)
+			os.Exit(1)
+		}
+		name := fmt.Sprintf("L[%s] depth=%d bal<=%d", join(fs), net.Depth(), core.MaxFactor(fs))
+		measure(name, func() counter.Counter { return counter.NewNetworkCounter(net, false) })
+		if *mutex {
+			measure(name+" (mutex)", func() counter.Counter { return counter.NewNetworkCounter(net, true) })
+		}
+	}
+	tbl.Fprint(os.Stdout)
+}
+
+func join(fs []int) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = strconv.Itoa(f)
+	}
+	return strings.Join(parts, "x")
+}

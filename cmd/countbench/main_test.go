@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestJoin(t *testing.T) {
+	if got := join([]int{2, 3, 5}); got != "2x3x5" {
+		t.Errorf("join = %q", got)
+	}
+	if got := join([]int{7}); got != "7" {
+		t.Errorf("join = %q", got)
+	}
+	if got := join(nil); got != "" {
+		t.Errorf("join(nil) = %q", got)
+	}
+}

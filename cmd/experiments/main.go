@@ -1,0 +1,73 @@
+// Command experiments regenerates every quantitative claim of the
+// paper as a text (or markdown, or CSV) table. See DESIGN.md for the
+// experiment index E1..E18 and EXPERIMENTS.md for a recorded run.
+//
+// Usage:
+//
+//	experiments                  # full suite to stdout
+//	experiments -quick           # smaller sweeps, shorter measurements
+//	experiments -run E1,E4       # a subset
+//	experiments -markdown        # markdown tables (for EXPERIMENTS.md)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"countnet/internal/bench"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "smaller sweeps and shorter throughput measurements")
+		run      = flag.String("run", "", "comma-separated experiment IDs to run (default: all)")
+		markdown = flag.Bool("markdown", false, "emit markdown instead of aligned text")
+		csv      = flag.Bool("csv", false, "emit CSV (one table after another) instead of aligned text")
+		outPath  = flag.String("out", "", "write output to this file instead of stdout")
+	)
+	flag.Parse()
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	want := map[string]bool{}
+	if *run != "" {
+		for _, id := range strings.Split(*run, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	if !*csv && !*markdown {
+		fmt.Fprintf(out, "environment: %s\n\n", bench.Environment())
+	}
+	tables := bench.All(*quick)
+	ran := 0
+	for _, tbl := range tables {
+		if len(want) > 0 && !want[tbl.ID] {
+			continue
+		}
+		ran++
+		switch {
+		case *markdown:
+			fmt.Fprint(out, tbl.Markdown())
+		case *csv:
+			fmt.Fprintf(out, "# %s: %s\n%s\n", tbl.ID, tbl.Title, tbl.CSV())
+		default:
+			tbl.Fprint(out)
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: no experiment matched %q (have E1..E18)\n", *run)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,117 @@
+// Command verifyall runs the full verification battery over a matrix
+// of constructions — every factorization of a set of widths for K and
+// L, an R(p,q) grid, and the classical baselines — and exits non-zero
+// if anything fails. It is the CI entry point for construction
+// correctness.
+//
+// Usage:
+//
+//	verifyall                  # default matrix
+//	verifyall -widths 24,30    # K/L over all factorizations of these widths
+//	verifyall -rmax 12         # R(p,q) grid bound
+//	verifyall -seed 7 -v       # reseed the randomized batteries, list every case
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"countnet"
+)
+
+func main() {
+	var (
+		widths  = flag.String("widths", "12,16,24,30", "comma-separated widths: K and L are verified for every factorization")
+		rmax    = flag.Int("rmax", 9, "verify R(p,q) for all 2 <= p,q <= rmax")
+		seed    = flag.Int64("seed", 1, "seed for the randomized batteries")
+		verbose = flag.Bool("v", false, "print every case, not just failures")
+	)
+	flag.Parse()
+
+	failures := 0
+	total := 0
+	check := func(name string, n *countnet.Network, wantCounting bool) {
+		total++
+		countErr := n.VerifyCounting(*seed)
+		sortErr := n.VerifySorting(*seed)
+		ok := (countErr == nil) == wantCounting && sortErr == nil
+		if !ok {
+			failures++
+			fmt.Printf("FAIL %-16s counting=%v (want counting=%v) sorting=%v\n",
+				name, countErr == nil, wantCounting, errString(sortErr))
+			return
+		}
+		if *verbose {
+			fmt.Printf("ok   %-16s width=%-4d depth=%-3d gates=%-5d maxGate=%d\n",
+				name, n.Width(), n.Depth(), n.Size(), n.MaxBalancerWidth())
+		}
+	}
+
+	for _, ws := range strings.Split(*widths, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(ws))
+		if err != nil || w < 2 {
+			fmt.Fprintf(os.Stderr, "verifyall: bad width %q\n", ws)
+			os.Exit(2)
+		}
+		for _, fs := range countnet.Factorizations(w) {
+			k, err := countnet.NewK(fs...)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "verifyall:", err)
+				os.Exit(1)
+			}
+			check(k.Name(), k, true)
+			l, err := countnet.NewL(fs...)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "verifyall:", err)
+				os.Exit(1)
+			}
+			check(l.Name(), l, true)
+		}
+	}
+
+	for p := 2; p <= *rmax; p++ {
+		for q := 2; q <= *rmax; q++ {
+			r, err := countnet.NewR(p, q)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "verifyall:", err)
+				os.Exit(1)
+			}
+			check(r.Name(), r, true)
+		}
+	}
+
+	for _, w := range []int{4, 8, 16} {
+		if n, err := countnet.NewBitonic(w); err == nil {
+			check(n.Name(), n, true)
+		}
+		if n, err := countnet.NewPeriodic(w); err == nil {
+			check(n.Name(), n, true)
+		}
+		if n, err := countnet.NewOddEvenMergeSort(w); err == nil {
+			check(n.Name(), n, false) // sorts, must NOT count
+		}
+	}
+	for _, w := range []int{4, 5, 6} {
+		if n, err := countnet.NewBubble(w); err == nil {
+			check(n.Name(), n, false)
+		}
+		if n, err := countnet.NewMergeExchange(w); err == nil {
+			check(n.Name(), n, false)
+		}
+	}
+
+	fmt.Printf("verifyall: %d/%d constructions behaved as specified\n", total-failures, total)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return err.Error()
+}

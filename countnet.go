@@ -1,0 +1,326 @@
+// Package countnet is a production-grade implementation of the sorting
+// and counting networks of Busch & Herlihy, "Sorting and Counting
+// Networks of Small Depth and Arbitrary Width" (SPAA 1999).
+//
+// For any width w = p0 * p1 * ... * pn-1 (factors >= 2, not necessarily
+// prime) the package builds:
+//
+//   - family K: depth exactly 1.5n^2 - 3.5n + 2, balancers (or
+//     comparators) of width at most max(pi*pj);
+//   - family L: depth at most 9.5n^2 - 12.5n + 3, balancers of width at
+//     most max(pi);
+//   - R(p,q): a constant-depth (<= 16) counting network of width p*q
+//     from balancers of width at most max(p,q);
+//
+// plus the classical baselines (bitonic, periodic, odd-even merge,
+// bubble). Every network is simultaneously a sorting network (run it
+// over a batch of values with Sort) and a counting network (feed it
+// token counts with Step, or build a concurrent Fetch&Increment
+// Counter on it).
+//
+// A quick taste:
+//
+//	net, _ := countnet.NewL(2, 3, 5) // width 30, 2-,3-,5-balancers only
+//	sorted := net.Sort([]int64{9, 4, 7, ...}) // ascending
+//	ctr := countnet.NewCounter(net)
+//	v := ctr.Next() // concurrent fetch-and-increment
+package countnet
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"countnet/internal/baseline"
+	"countnet/internal/core"
+	"countnet/internal/counter"
+	"countnet/internal/factor"
+	"countnet/internal/network"
+	"countnet/internal/runner"
+	"countnet/internal/seq"
+	"countnet/internal/sim"
+	"countnet/internal/verify"
+)
+
+// Network is a sorting/counting network of fixed width.
+type Network struct {
+	inner *network.Network
+}
+
+// NewK builds the family-K network K(p0,...,pn-1): width p0*...*pn-1,
+// depth exactly 1.5n^2-3.5n+2 (n >= 2), comparators/balancers of width
+// at most max(pi*pj). Every factor must be at least 2.
+func NewK(factors ...int) (*Network, error) { return wrapErr(core.K(factors...)) }
+
+// NewL builds the family-L network L(p0,...,pn-1): width p0*...*pn-1,
+// depth at most 9.5n^2-12.5n+3, comparators/balancers of width at most
+// max(pi). Every factor must be at least 2.
+func NewL(factors ...int) (*Network, error) { return wrapErr(core.L(factors...)) }
+
+// NewR builds the constant-depth network R(p,q) (p,q >= 2): width p*q,
+// depth at most 16, comparators/balancers of width at most max(p,q).
+func NewR(p, q int) (*Network, error) { return wrapErr(core.R(p, q)) }
+
+// NewBitonic builds the classical bitonic counting network of width
+// w = 2^k (depth k(k+1)/2, 2-balancers).
+func NewBitonic(w int) (*Network, error) { return wrapErr(baseline.Bitonic(w)) }
+
+// NewPeriodic builds the periodic balanced counting network of width
+// w = 2^k (depth k^2, 2-balancers).
+func NewPeriodic(w int) (*Network, error) { return wrapErr(baseline.Periodic(w)) }
+
+// NewOddEvenMergeSort builds Batcher's odd-even merge sorting network
+// of width w = 2^k. It sorts but is not a counting network.
+func NewOddEvenMergeSort(w int) (*Network, error) { return wrapErr(baseline.OddEvenMergeSort(w)) }
+
+// NewBubble builds the bubble-sort network of the paper's Figure 3:
+// a sorting network that is not a counting network.
+func NewBubble(w int) (*Network, error) { return wrapErr(baseline.Bubble(w)) }
+
+// NewMergeExchange builds Batcher's merge-exchange sorting network for
+// arbitrary width w (2-comparators, depth <= ceil(log2 w)(ceil(log2 w)+1)/2).
+// It sorts but is not a counting network.
+func NewMergeExchange(w int) (*Network, error) { return wrapErr(baseline.MergeExchange(w)) }
+
+func wrapErr(n *network.Network, err error) (*Network, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &Network{inner: n}, nil
+}
+
+// Name returns the construction name, e.g. "L(2,3,5)".
+func (n *Network) Name() string { return n.inner.Name }
+
+// Width returns the number of input (and output) wires.
+func (n *Network) Width() int { return n.inner.Width() }
+
+// Depth returns the maximum number of comparators/balancers traversed
+// by any value or token.
+func (n *Network) Depth() int { return n.inner.Depth() }
+
+// Size returns the number of comparators/balancers.
+func (n *Network) Size() int { return n.inner.Size() }
+
+// MaxBalancerWidth returns the width of the widest comparator/balancer.
+func (n *Network) MaxBalancerWidth() int { return n.inner.MaxGateWidth() }
+
+// BalancerWidthHistogram returns, for each balancer width occurring in
+// the network, the number of balancers of that width.
+func (n *Network) BalancerWidthHistogram() map[int]int { return n.inner.GateWidthHistogram() }
+
+// GateInfo describes one comparator/balancer for read-only
+// introspection (tooling, custom renderers, hardware export).
+type GateInfo struct {
+	// Wires lists the wire indices in port order; the first port
+	// receives the largest value (comparator) or first token (balancer).
+	Wires []int
+	// Layer is the 1-based critical-path layer.
+	Layer int
+	// Label records the construction step that produced the gate.
+	Label string
+}
+
+// Gates returns the network's gates in topological order. The returned
+// data is a copy; mutating it does not affect the network.
+func (n *Network) Gates() []GateInfo {
+	out := make([]GateInfo, len(n.inner.Gates))
+	for i := range n.inner.Gates {
+		g := &n.inner.Gates[i]
+		out[i] = GateInfo{
+			Wires: append([]int(nil), g.Wires...),
+			Layer: g.Layer,
+			Label: g.Label,
+		}
+	}
+	return out
+}
+
+// OutputOrder returns the wire permutation in which the output sequence
+// is read: output position k lives on wire OutputOrder()[k].
+func (n *Network) OutputOrder() []int {
+	return append([]int(nil), n.inner.OutputOrder...)
+}
+
+// String summarizes the network.
+func (n *Network) String() string { return n.inner.String() }
+
+// DOT renders the network in Graphviz dot format.
+func (n *Network) DOT() string { return n.inner.DOT() }
+
+// ASCII renders a compact layer-by-layer text diagram.
+func (n *Network) ASCII() string { return n.inner.ASCII() }
+
+// Diagram renders the network in the style of the paper's figures: one
+// line per wire, gates as vertical connectors with a dot per touched
+// wire. Best for small networks.
+func (n *Network) Diagram() string { return n.inner.Diagram() }
+
+// MarshalJSON encodes the network structure.
+func (n *Network) MarshalJSON() ([]byte, error) { return n.inner.MarshalJSON() }
+
+// UnmarshalJSON decodes and validates a network.
+func (n *Network) UnmarshalJSON(data []byte) error {
+	var in network.Network
+	if err := in.UnmarshalJSON(data); err != nil {
+		return err
+	}
+	n.inner = &in
+	return nil
+}
+
+// Sort runs the network as a sorting network over one batch of exactly
+// Width values and returns them in ascending order. It returns an
+// error if the batch size does not match the width.
+func (n *Network) Sort(values []int64) ([]int64, error) {
+	if len(values) != n.Width() {
+		return nil, fmt.Errorf("countnet: batch of %d values for width-%d network", len(values), n.Width())
+	}
+	return runner.SortAscending(n.inner, values), nil
+}
+
+// SortFunc sorts one batch of arbitrary elements (descending per the
+// network's step orientation would be unidiomatic for callers, so the
+// result is ascending by less).
+func SortFunc[T any](n *Network, values []T, less func(a, b T) bool) ([]T, error) {
+	if len(values) != n.Width() {
+		return nil, fmt.Errorf("countnet: batch of %d values for width-%d network", len(values), n.Width())
+	}
+	out := runner.ApplyComparatorsFunc(n.inner, values, less)
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out, nil
+}
+
+// Step runs the network as a balancing network in a quiescent state:
+// tokens[i] tokens enter on wire i, and the result is the per-output
+// token distribution in output order. For a counting network the result
+// always has the step property.
+func (n *Network) Step(tokens []int64) ([]int64, error) {
+	if len(tokens) != n.Width() {
+		return nil, fmt.Errorf("countnet: %d token counts for width-%d network", len(tokens), n.Width())
+	}
+	return runner.ApplyTokens(n.inner, tokens), nil
+}
+
+// VerifyCounting runs the repository's counting-network battery
+// (bounded-exhaustive and randomized step-property checks plus a serial
+// cross-check) and returns the first violation found, or nil.
+func (n *Network) VerifyCounting(seed int64) error {
+	return verify.IsCountingNetwork(n.inner, rand.New(rand.NewSource(seed)))
+}
+
+// VerifySorting runs the sorting battery (exhaustive 0-1 principle up
+// to width 20, randomized beyond) and returns the first violation
+// found, or nil.
+func (n *Network) VerifySorting(seed int64) error {
+	return verify.IsSortingNetwork(n.inner, rand.New(rand.NewSource(seed)))
+}
+
+// FormatText renders the network in the compact layer notation of the
+// sorting-network literature ("0:1 2:3" per layer; wider balancers as
+// "a:b:c"). ParseTextNetwork reads it back.
+func (n *Network) FormatText() string { return n.inner.FormatText() }
+
+// ParseTextNetwork parses the layer notation (one line per layer,
+// gates as colon-joined wire lists, '#' comments) into a network of
+// the given width.
+func ParseTextNetwork(name string, width int, src string) (*Network, error) {
+	return wrapErr(network.ParseText(name, width, src))
+}
+
+// Verilog emits the network as a synthesizable combinational sorting
+// module of 2-input compare-exchange stages. Only binary comparator
+// networks qualify (max balancer width 2): L(2,...,2), the bitonic,
+// periodic, odd-even and merge-exchange baselines.
+func (n *Network) Verilog(moduleName string, dataBits int) (string, error) {
+	return n.inner.Verilog(moduleName, dataBits)
+}
+
+// TraceTokens injects one token per entry wire listed (serially, in
+// order) and returns a human-readable rendering of each token's path —
+// the gates traversed with arrival ranks, the exit position, and the
+// Fetch&Increment value the token would receive. The textual analogue
+// of the paper's Figure 3 token-flow arrows.
+func (n *Network) TraceTokens(entries []int) (string, error) {
+	for _, e := range entries {
+		if e < 0 || e >= n.Width() {
+			return "", fmt.Errorf("countnet: entry wire %d outside width %d", e, n.Width())
+		}
+	}
+	res, paths := sim.RunTraced(n.inner, entries, sim.FIFO{})
+	return sim.FormatPaths(n.inner, entries, paths, res), nil
+}
+
+// Counter is a concurrent Fetch&Increment counter backed by a counting
+// network: a low-contention alternative to a single atomic word. Values
+// are distinct; once the network is quiescent the issued values are
+// exactly 0..N-1.
+type Counter struct {
+	inner *counter.NetworkCounter
+}
+
+// NewCounter builds a counter over the given counting network. The
+// caller is responsible for passing a network that actually counts
+// (anything from NewK/NewL/NewR/NewBitonic/NewPeriodic does).
+func NewCounter(n *Network) *Counter {
+	return &Counter{inner: counter.NewNetworkCounter(n.inner, false)}
+}
+
+// Next issues the next value. Safe for concurrent use; in tight loops
+// prefer per-goroutine handles from Handle.
+func (c *Counter) Next() int64 { return c.inner.Next() }
+
+// CounterHandle is a single-goroutine view of a Counter.
+type CounterHandle struct {
+	inner counter.Counter
+}
+
+// Handle returns a goroutine-local handle; id disperses the handles'
+// entry wires (pass the worker index). Handles must not be shared.
+func (c *Counter) Handle(id int) *CounterHandle {
+	return &CounterHandle{inner: c.inner.Handle(id)}
+}
+
+// Next issues the next value.
+func (h *CounterHandle) Next() int64 { return h.inner.Next() }
+
+// RenderStepArrangements draws the step sequence of the given total
+// over r*c wires under all four Section 3.1 matrix arrangements — the
+// paper's Figure 5 as text ('#' = high region, '.' = low).
+func RenderStepArrangements(total int64, r, c int) string {
+	x := seq.MakeStep(r*c, total)
+	var sb strings.Builder
+	for _, a := range []seq.Arrangement{seq.RowMajor, seq.ReverseRowMajor, seq.ColMajor, seq.ReverseColMajor} {
+		fmt.Fprintf(&sb, "%s:\n%s", a, seq.RenderArrangement(x, r, c, a))
+	}
+	return sb.String()
+}
+
+// Barrier is a reusable n-party synchronization barrier whose arrival
+// tickets come from a counting-network counter, spreading arrival
+// contention across balancers.
+type Barrier struct {
+	inner *counter.Barrier
+}
+
+// NewBarrier builds a barrier for parties participants over a fresh
+// counter on the given counting network.
+func NewBarrier(n *Network, parties int) *Barrier {
+	return &Barrier{inner: counter.NewBarrier(parties, counter.NewNetworkCounter(n.inner, false))}
+}
+
+// Await blocks until all parties of the caller's generation have
+// arrived and returns the 0-based generation number.
+func (b *Barrier) Await() int64 { return b.inner.Await() }
+
+// Factorizations lists every multiset factorization of w into factors
+// >= 2 (each non-increasing), the parameter space of the network
+// family for a fixed width.
+func Factorizations(w int) [][]int { return factor.Factorizations(w, 2) }
+
+// BalancedFactorization returns a factorization of w into at most n
+// factors minimizing the largest factor — a good default for NewL when
+// the caller just wants narrow balancers and small depth.
+func BalancedFactorization(w, n int) []int { return factor.Balanced(w, n) }

@@ -1,0 +1,91 @@
+package countnet
+
+import (
+	"fmt"
+
+	"countnet/internal/core"
+	"countnet/internal/network"
+)
+
+// BaseKind selects the base-case C(p,q) network of the generic Section
+// 4 construction.
+type BaseKind int
+
+const (
+	// BaseBalancer realizes C(p,q) as one pq-wide switch (family K's
+	// choice; depth 1, width up to max(pi*pj)).
+	BaseBalancer BaseKind = iota
+	// BaseR realizes C(p,q) as the constant-depth R(p,q) network
+	// (family L's choice; depth <= 16, width up to max(pi)).
+	BaseR
+)
+
+// StaircaseKind selects the staircase-merger variant of Sections 4.3
+// and 4.3.1.
+type StaircaseKind int
+
+const (
+	// StaircaseOptimizedBase: base layer, 2-balancer layer, base layer
+	// (depth 2d+1). Family K's choice.
+	StaircaseOptimizedBase StaircaseKind = iota
+	// StaircaseOptimizedBitonic: base layer, 2-balancer layer,
+	// bitonic-converter layer (depth d+3). Family L's choice.
+	StaircaseOptimizedBitonic
+	// StaircaseBasic: base layer plus two-merger rounds (depth <= d+6);
+	// uses switches of width 2q.
+	StaircaseBasic
+	// StaircaseBasicSubstituted: StaircaseBasic with each 2q-switch
+	// replaced by a T(q,1,1) network (depth <= d+9), keeping switches
+	// within max(p,q).
+	StaircaseBasicSubstituted
+)
+
+// Options configures NewCustom. The zero value reproduces family K.
+type Options struct {
+	Base      BaseKind
+	Staircase StaircaseKind
+}
+
+// NewCustom builds the generic counting network C(p0,...,pn-1) of
+// Section 4 with explicit choices for the pluggable pieces. NewK and
+// NewL are the two configurations the paper names; the other base and
+// staircase combinations are useful for ablation (see experiment E8).
+func NewCustom(opt Options, factors ...int) (*Network, error) {
+	cfg := core.Config{}
+	switch opt.Base {
+	case BaseBalancer:
+		cfg.Base = core.BalancerBase
+	case BaseR:
+		cfg.Base = core.RBase
+	default:
+		return nil, fmt.Errorf("countnet: unknown base kind %d", opt.Base)
+	}
+	switch opt.Staircase {
+	case StaircaseOptimizedBase:
+		cfg.Staircase = core.StaircaseOptBase
+	case StaircaseOptimizedBitonic:
+		cfg.Staircase = core.StaircaseOptBitonic
+	case StaircaseBasic:
+		cfg.Staircase = core.StaircaseBasic
+	case StaircaseBasicSubstituted:
+		cfg.Staircase = core.StaircaseBasicSub
+	default:
+		return nil, fmt.Errorf("countnet: unknown staircase kind %d", opt.Staircase)
+	}
+	return wrapErr(core.New(cfg, factors...))
+}
+
+// Concat sequentially composes networks of equal width: stage k's
+// output sequence feeds stage k+1's input sequence. Appending any
+// counting network to an arbitrary balancing network yields a counting
+// network.
+func Concat(name string, nets ...*Network) (*Network, error) {
+	inner := make([]*network.Network, len(nets))
+	for i, n := range nets {
+		if n == nil || n.inner == nil {
+			return nil, fmt.Errorf("countnet: concat stage %d is nil", i)
+		}
+		inner[i] = n.inner
+	}
+	return wrapErr(network.Concat(name, inner...))
+}

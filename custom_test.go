@@ -1,0 +1,84 @@
+package countnet
+
+import "testing"
+
+func TestNewCustomMatchesFamilies(t *testing.T) {
+	k, err := NewK(2, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := NewCustom(Options{Base: BaseBalancer, Staircase: StaircaseOptimizedBase}, 2, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Depth() != k.Depth() || ck.Size() != k.Size() {
+		t.Errorf("custom-K differs from K: %v vs %v", ck, k)
+	}
+
+	l, err := NewL(2, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCustom(Options{Base: BaseR, Staircase: StaircaseOptimizedBitonic}, 2, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Depth() != l.Depth() || cl.Size() != l.Size() {
+		t.Errorf("custom-L differs from L: %v vs %v", cl, l)
+	}
+}
+
+func TestNewCustomAllVariantsCount(t *testing.T) {
+	for _, base := range []BaseKind{BaseBalancer, BaseR} {
+		for _, sc := range []StaircaseKind{
+			StaircaseOptimizedBase, StaircaseOptimizedBitonic,
+			StaircaseBasic, StaircaseBasicSubstituted,
+		} {
+			n, err := NewCustom(Options{Base: base, Staircase: sc}, 2, 2, 2)
+			if err != nil {
+				t.Fatalf("base %d staircase %d: %v", base, sc, err)
+			}
+			if err := n.VerifyCounting(9); err != nil {
+				t.Errorf("base %d staircase %d: %v", base, sc, err)
+			}
+		}
+	}
+}
+
+func TestNewCustomRejectsBadOptions(t *testing.T) {
+	if _, err := NewCustom(Options{Base: BaseKind(9)}, 2, 2); err == nil {
+		t.Error("bad base accepted")
+	}
+	if _, err := NewCustom(Options{Staircase: StaircaseKind(9)}, 2, 2); err == nil {
+		t.Error("bad staircase accepted")
+	}
+	if _, err := NewCustom(Options{}, 1); err == nil {
+		t.Error("bad factors accepted")
+	}
+}
+
+func TestConcatFacade(t *testing.T) {
+	bubble, _ := NewBubble(8)
+	bitonic, _ := NewBitonic(8)
+	cat, err := Concat("bubble+bitonic", bubble, bitonic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Width() != 8 || cat.Size() != bubble.Size()+bitonic.Size() {
+		t.Errorf("concat structure: %v", cat)
+	}
+	// Bubble alone does not count; with a counting suffix it does.
+	if err := bubble.VerifyCounting(3); err == nil {
+		t.Error("bubble counted")
+	}
+	if err := cat.VerifyCounting(3); err != nil {
+		t.Errorf("bubble+bitonic: %v", err)
+	}
+	if _, err := Concat("bad", bubble, nil); err == nil {
+		t.Error("nil stage accepted")
+	}
+	small, _ := NewBitonic(4)
+	if _, err := Concat("bad", bubble, small); err == nil {
+		t.Error("width mismatch accepted")
+	}
+}

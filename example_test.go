@@ -1,0 +1,101 @@
+package countnet_test
+
+import (
+	"fmt"
+
+	"countnet"
+)
+
+// Build a width-30 counting network from switches no wider than 5 and
+// sort one batch with it.
+func ExampleNewL() {
+	net, err := countnet.NewL(2, 3, 5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(net.Name(), "width:", net.Width(), "widest switch:", net.MaxBalancerWidth())
+	// Output:
+	// L(2,3,5) width: 30 widest switch: 5
+}
+
+// Family K trades wider switches for the paper's exact depth formula
+// 1.5n^2 - 3.5n + 2.
+func ExampleNewK() {
+	net, err := countnet.NewK(2, 3, 5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(net.Name(), "depth:", net.Depth())
+	// Output:
+	// K(2,3,5) depth: 5
+}
+
+// R(p,q) is a constant-depth counting network: depth at most 16 for
+// every p, q, from switches no wider than max(p,q).
+func ExampleNewR() {
+	net, err := countnet.NewR(7, 9)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(net.Name(), "width:", net.Width(), "depth <= 16:", net.Depth() <= 16)
+	// Output:
+	// R(7,9) width: 63 depth <= 16: true
+}
+
+// The same network counts: tokens entering on arbitrary wires leave
+// balanced across the outputs (the step property).
+func ExampleNetwork_Step() {
+	net, err := countnet.NewK(2, 2)
+	if err != nil {
+		panic(err)
+	}
+	out, err := net.Step([]int64{7, 0, 0, 0}) // all tokens on one wire
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out)
+	// Output:
+	// [2 2 2 1]
+}
+
+// And it sorts: one batch of Width values, ascending.
+func ExampleNetwork_Sort() {
+	net, err := countnet.NewK(2, 3)
+	if err != nil {
+		panic(err)
+	}
+	out, err := net.Sort([]int64{30, 10, 50, 20, 60, 40})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out)
+	// Output:
+	// [10 20 30 40 50 60]
+}
+
+// Each width has one network per factorization — the paper's
+// depth-versus-switch-width family.
+func ExampleFactorizations() {
+	for _, fs := range countnet.Factorizations(12) {
+		fmt.Println(fs)
+	}
+	// Output:
+	// [12]
+	// [6 2]
+	// [4 3]
+	// [3 2 2]
+}
+
+// A concurrent Fetch&Increment counter: distinct values always,
+// gap-free once quiescent.
+func ExampleCounter() {
+	net, err := countnet.NewL(2, 2)
+	if err != nil {
+		panic(err)
+	}
+	ctr := countnet.NewCounter(net)
+	h := ctr.Handle(0)
+	fmt.Println(h.Next(), h.Next(), h.Next())
+	// Output:
+	// 0 1 2
+}

@@ -1,0 +1,91 @@
+// Concurrent Fetch&Increment: the application counting networks were
+// invented for. Many goroutines draw values from a shared counter built
+// on a counting network; contention spreads over the network's
+// balancers instead of hammering one word. The example checks the
+// network counter's signature guarantee — after quiescence the issued
+// values are exactly 0..N-1 — and compares wall time against a single
+// atomic under the same load.
+//
+//	go run ./examples/concurrent
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"countnet"
+)
+
+const perWorker = 50_000
+
+func main() {
+	workers := runtime.GOMAXPROCS(0) * 2
+	fmt.Printf("workers: %d, increments per worker: %d\n\n", workers, perWorker)
+
+	// A width-16 counting network from 2- and 4-balancers.
+	net, err := countnet.NewL(4, 2, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctr := countnet.NewCounter(net)
+
+	var all []int64
+	var mu sync.Mutex
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := ctr.Handle(g) // private entry cursor, no shared dispatch
+			local := make([]int64, perWorker)
+			for i := range local {
+				local[i] = h.Next()
+			}
+			mu.Lock()
+			all = append(all, local...)
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	networkElapsed := time.Since(start)
+
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i, v := range all {
+		if v != int64(i) {
+			log.Fatalf("gap or duplicate at position %d: value %d", i, v)
+		}
+	}
+	fmt.Printf("network counter (%s): issued exactly 0..%d, no gaps, no duplicates\n",
+		net.Name(), len(all)-1)
+	fmt.Printf("  elapsed: %v (%.2f M ops/sec)\n\n",
+		networkElapsed.Round(time.Millisecond),
+		float64(len(all))/networkElapsed.Seconds()/1e6)
+
+	// Same load on one atomic word.
+	var word atomic.Int64
+	start = time.Now()
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				word.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	atomicElapsed := time.Since(start)
+	fmt.Printf("single atomic word: elapsed %v (%.2f M ops/sec)\n",
+		atomicElapsed.Round(time.Millisecond),
+		float64(workers*perWorker)/atomicElapsed.Seconds()/1e6)
+
+	fmt.Println("\n(On a handful of cores the atomic wins raw throughput; the network's")
+	fmt.Println(" point is that per-balancer contention stays flat as cores multiply —")
+	fmt.Println(" run cmd/countbench to sweep widths and thread counts.)")
+}

@@ -1,0 +1,119 @@
+// Load balancing with a balancing network — the "distributing
+// network" use counting networks generalize. Jobs arriving on arbitrary
+// producers are routed through an L network to worker shards; the step
+// property guarantees shard loads never differ by more than one,
+// whatever the arrival pattern, with no central dispatcher.
+//
+// The example pits three dispatch strategies against a deliberately
+// adversarial arrival pattern (bursts from a single producer) and
+// reports the load spread (max shard load − min shard load):
+//
+//   - network: tokens routed through L(4,3) — spread ≤ 1, guaranteed
+//
+//   - random:  independent uniform choice — spread grows like √jobs
+//
+//   - hashed:  producer-id modulo — collapses under single-producer bursts
+//
+//     go run ./examples/loadbalance
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"countnet"
+)
+
+const (
+	shards    = 12 // 4*3
+	producers = 8
+	jobs      = 60_000
+)
+
+func spread(loads []int64) int64 {
+	mn, mx := loads[0], loads[0]
+	for _, v := range loads[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx - mn
+}
+
+func main() {
+	net, err := countnet.NewL(4, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dispatching %d jobs from %d producers to %d shards\n", jobs, producers, shards)
+	fmt.Printf("network dispatcher: %s (depth %d, balancers <= %d)\n\n",
+		net.Name(), net.Depth(), net.MaxBalancerWidth())
+
+	// Adversarial arrival pattern: long single-producer bursts.
+	arrivals := make([]int, jobs)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < jobs; {
+		p := rng.Intn(producers)
+		burst := 1 + rng.Intn(500)
+		for b := 0; b < burst && i < jobs; b++ {
+			arrivals[i] = p
+			i++
+		}
+	}
+
+	// 1. Balancing-network dispatch: producer p's jobs enter on wire
+	// p mod width; concurrent producers hammer the network at once.
+	ctr := countnet.NewCounter(net)
+	netLoads := make([]int64, shards)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	chunk := jobs / producers
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := ctr.Handle(p)
+			local := make([]int64, shards)
+			for i := p * chunk; i < (p+1)*chunk; i++ {
+				// With shards == network width, value % width is exactly
+				// the token's exit wire: pure balancing-network routing.
+				shard := h.Next() % int64(shards)
+				local[shard]++
+			}
+			mu.Lock()
+			for s, v := range local {
+				netLoads[s] += v
+			}
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+
+	// 2. Random dispatch.
+	randLoads := make([]int64, shards)
+	for range arrivals {
+		randLoads[rng.Intn(shards)]++
+	}
+
+	// 3. Hash-by-producer dispatch.
+	hashLoads := make([]int64, shards)
+	for _, p := range arrivals {
+		hashLoads[p%shards]++
+	}
+
+	fmt.Printf("%-10s %-14s loads\n", "strategy", "spread(max-min)")
+	fmt.Printf("%-10s %-14d %v\n", "network", spread(netLoads), netLoads)
+	fmt.Printf("%-10s %-14d %v\n", "random", spread(randLoads), randLoads)
+	fmt.Printf("%-10s %-14d %v\n", "hashed", spread(hashLoads), hashLoads)
+
+	if s := spread(netLoads); s > 1 {
+		log.Fatalf("network dispatch spread %d violates the step guarantee", s)
+	}
+	fmt.Println("\nthe network dispatcher's spread <= 1 is a theorem (the step property),")
+	fmt.Println("not a statistical tendency — it holds for every arrival pattern.")
+}

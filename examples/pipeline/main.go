@@ -1,0 +1,85 @@
+// Pipelined stream sorting: the deployment mode sorting networks are
+// built for. A fixed-width network has one goroutine per layer; batch
+// k+1 enters layer 1 while batch k occupies layer 2, so steady-state
+// throughput is one batch per layer-latency rather than one batch per
+// whole-network latency.
+//
+// The example streams many batches through L(4,4) both sequentially and
+// pipelined, verifies every batch, and reports throughput.
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"countnet"
+)
+
+const batches = 20_000
+
+func main() {
+	net, err := countnet.NewL(4, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := net.Width()
+	fmt.Printf("streaming %d batches of %d values through %s (depth %d)\n\n",
+		batches, w, net.Name(), net.Depth())
+
+	rng := rand.New(rand.NewSource(1))
+	inputs := make([][]int64, batches)
+	for i := range inputs {
+		inputs[i] = make([]int64, w)
+		for j := range inputs[i] {
+			inputs[i][j] = int64(rng.Intn(1 << 20))
+		}
+	}
+
+	// Sequential: one reusable sorter.
+	seq := countnet.NewBatchSorter(net)
+	start := time.Now()
+	var checksum int64
+	for _, in := range inputs {
+		out := seq.Sort(in)
+		checksum += out[0] + out[w-1]
+	}
+	seqElapsed := time.Since(start)
+	fmt.Printf("sequential: %v  (%.0f batches/sec)\n",
+		seqElapsed.Round(time.Millisecond), float64(batches)/seqElapsed.Seconds())
+
+	// Pipelined: one goroutine per layer.
+	in := make(chan []int64, 8)
+	start = time.Now()
+	go func() {
+		defer close(in)
+		for _, batch := range inputs {
+			in <- append([]int64(nil), batch...)
+		}
+	}()
+	var pipeChecksum int64
+	count := 0
+	for out := range net.SortStream(in) {
+		for i := 1; i < len(out); i++ {
+			if out[i-1] > out[i] {
+				log.Fatalf("batch %d not sorted: %v", count, out)
+			}
+		}
+		pipeChecksum += out[0] + out[w-1]
+		count++
+	}
+	pipeElapsed := time.Since(start)
+	fmt.Printf("pipelined:  %v  (%.0f batches/sec)\n",
+		pipeElapsed.Round(time.Millisecond), float64(batches)/pipeElapsed.Seconds())
+
+	if count != batches || pipeChecksum != checksum {
+		log.Fatalf("pipeline lost or corrupted batches: %d/%d, checksum %d vs %d",
+			count, batches, pipeChecksum, checksum)
+	}
+	fmt.Println("\nall batches verified sorted; checksums agree.")
+	fmt.Println("(pipelining pays on multicore machines — one goroutine per layer;")
+	fmt.Println(" on a single core the channel overhead dominates.)")
+}

@@ -1,0 +1,62 @@
+// Quickstart: build a counting network of arbitrary width, use it to
+// sort a batch of values, and route a stream of tokens through it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"countnet"
+)
+
+func main() {
+	// Width 30 = 2*3*5. Family L uses comparators/balancers no wider
+	// than the largest factor (5), at depth <= 9.5*9 - 12.5*3 + 3 = 51.
+	net, err := countnet.NewL(2, 3, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built %s: width=%d depth=%d gates=%d widest balancer=%d\n\n",
+		net.Name(), net.Width(), net.Depth(), net.Size(), net.MaxBalancerWidth())
+
+	// 1. The same network is a sorting network: feed it one batch of
+	// width-many values.
+	rng := rand.New(rand.NewSource(42))
+	batch := make([]int64, net.Width())
+	for i := range batch {
+		batch[i] = int64(rng.Intn(100))
+	}
+	sorted, err := net.Sort(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("unsorted:", batch)
+	fmt.Println("sorted:  ", sorted)
+
+	// 2. And a counting network: however lopsidedly tokens arrive on
+	// the input wires, the per-output distribution has the step
+	// property (balanced, excess on the first wires).
+	tokens := make([]int64, net.Width())
+	tokens[3] = 47 // all 47 tokens arrive on one wire
+	tokens[17] = 20
+	out, err := net.Step(tokens)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntokens in: ", tokens)
+	fmt.Println("tokens out:", out)
+
+	// 3. Networks of the same width come in a whole family — one per
+	// factorization — trading depth against balancer width.
+	fmt.Println("\nother factorizations of width 30:")
+	for _, fs := range countnet.Factorizations(30) {
+		alt, err := countnet.NewL(fs...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s depth=%-3d widest balancer=%d\n", fmt.Sprint(fs), alt.Depth(), alt.MaxBalancerWidth())
+	}
+}

@@ -1,0 +1,68 @@
+// Trade-off explorer: the paper's headline flexibility. A width w has
+// one network per factorization; coarse factorizations (few, large
+// factors) give shallow networks of wide balancers, fine factorizations
+// (many small factors) give deep networks of narrow balancers. This
+// example prints the whole family for a width and sanity-checks each
+// member end to end.
+//
+//	go run ./examples/tradeoff          # width 720
+//	go run ./examples/tradeoff 96       # custom width
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"countnet"
+)
+
+func main() {
+	width := 720 // 2*2*2*2*3*3*5: a rich factorization lattice
+	if len(os.Args) > 1 {
+		w, err := strconv.Atoi(os.Args[1])
+		if err != nil || w < 2 {
+			log.Fatalf("usage: tradeoff [width>=2]; got %q", os.Args[1])
+		}
+		width = w
+	}
+
+	fss := countnet.Factorizations(width)
+	fmt.Printf("width %d has %d factorizations; the family L gives:\n\n", width, len(fss))
+	fmt.Printf("%-28s %8s %8s %12s %10s\n", "factorization", "n", "depth", "balancer<=", "gates")
+
+	type entry struct {
+		fs    []int
+		depth int
+		maxB  int
+	}
+	var entries []entry
+	for _, fs := range fss {
+		net, err := countnet.NewL(fs...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %8d %8d %12d %10d\n", fmt.Sprint(fs), len(fs), net.Depth(), net.MaxBalancerWidth(), net.Size())
+		entries = append(entries, entry{fs, net.Depth(), net.MaxBalancerWidth()})
+	}
+
+	// Verify a sample of the family actually counts (full verification
+	// of hundreds of networks would take a while; the test suite does
+	// the exhaustive version).
+	fmt.Println("\nspot verification:")
+	for _, i := range []int{0, len(entries) / 2, len(entries) - 1} {
+		fs := entries[i].fs
+		net, _ := countnet.NewL(fs...)
+		status := "PASS"
+		if err := net.VerifyCounting(7); err != nil {
+			status = "FAIL: " + err.Error()
+		}
+		fmt.Printf("  %-28s %s\n", fmt.Sprint(fs), status)
+	}
+
+	fmt.Println("\nreading the table: going down, factors shrink — balancers get narrower")
+	fmt.Println("(cheaper switches) while depth grows (more latency). The paper's point")
+	fmt.Println("is that every point on this curve is available for ANY width, at")
+	fmt.Println("depth O(log^2 w) with small constants.")
+}

@@ -1,0 +1,303 @@
+package bench
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		ID:     "EX",
+		Title:  "demo",
+		Note:   "line one\nline two",
+		Header: []string{"a", "bee"},
+	}
+	tbl.AddRow(1, "x")
+	tbl.AddRow("longer", 3.14159)
+	out := tbl.Render()
+	for _, frag := range []string{"== EX: demo ==", "line one", "line two", "a", "bee", "longer", "3.14"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+	md := tbl.Markdown()
+	if !strings.Contains(md, "| a | bee |") || !strings.Contains(md, "### EX: demo") {
+		t.Errorf("markdown malformed:\n%s", md)
+	}
+}
+
+func TestE1AllRowsPassAndDepthExact(t *testing.T) {
+	tbl := E1DepthK()
+	if len(tbl.Rows) == 0 {
+		t.Fatal("E1 empty")
+	}
+	for _, row := range tbl.Rows {
+		// columns: factors width n depth formula maxGate bound gates counts
+		if row[3] != row[4] {
+			t.Errorf("E1 %s: depth %s != formula %s", row[0], row[3], row[4])
+		}
+		if row[8] != "ok" {
+			t.Errorf("E1 %s: %s", row[0], row[8])
+		}
+	}
+}
+
+func TestE2AllRowsPass(t *testing.T) {
+	tbl := E2DepthL()
+	for _, row := range tbl.Rows {
+		if row[8] != "ok" {
+			t.Errorf("E2 %s: %s", row[0], row[8])
+		}
+	}
+}
+
+func TestE3AllRowsOK(t *testing.T) {
+	tbl := E3DepthR(10)
+	if len(tbl.Rows) == 0 {
+		t.Fatal("E3 empty")
+	}
+	for _, row := range tbl.Rows {
+		if row[7] != "ok" {
+			t.Errorf("E3 p=%s q=%s: %s", row[0], row[1], row[7])
+		}
+	}
+}
+
+func TestE4TradeoffShape(t *testing.T) {
+	tbl := E4Tradeoff(64)
+	if len(tbl.Rows) < 5 {
+		t.Fatalf("E4 has %d factorizations of 64, want >= 5", len(tbl.Rows))
+	}
+	// First row is the coarsest ({64}), last the finest ({2^6}); depth
+	// must not decrease from first to last and balancer width must not
+	// increase.
+	first, last := tbl.Rows[0], tbl.Rows[len(tbl.Rows)-1]
+	if first[1] != "1" || last[1] != "6" {
+		t.Fatalf("E4 ordering unexpected: %v ... %v", first, last)
+	}
+	if atoi(t, first[2]) > atoi(t, last[2]) {
+		t.Errorf("E4: coarse depth %s > fine depth %s", first[2], last[2])
+	}
+	if atoi(t, first[4]) < atoi(t, last[4]) {
+		t.Errorf("E4: coarse balancer width %s < fine %s", first[4], last[4])
+	}
+}
+
+func TestE5BitonicWins(t *testing.T) {
+	// The Section 6 claim compares networks of the same balancer width:
+	// bitonic (2-balancers) must beat L(2,..,2) (2-balancers) by a
+	// constant factor. K uses wider balancers (max pi*pj = 4) and is
+	// reported for context only — at k=3 it is even shallower than
+	// bitonic because each 4-balancer does more per layer.
+	tbl := E5VsBitonic(7)
+	for _, row := range tbl.Rows[1:] { // skip k=2 edge
+		bitonic, ld := atoi(t, row[2]), atoi(t, row[5])
+		if bitonic >= ld {
+			t.Errorf("E5 w=%s: bitonic %d not shallower than L %d", row[0], bitonic, ld)
+		}
+		if ld > 12*bitonic {
+			t.Errorf("E5 w=%s: L/bitonic ratio %d/%d not a small constant", row[0], ld, bitonic)
+		}
+	}
+}
+
+func TestE6CounterexampleShape(t *testing.T) {
+	tbl := E6Counterexample()
+	want := map[string][2]string{
+		"Bubble[4]":   {"true", "false"},
+		"OddEven[4]":  {"true", "false"},
+		"Bitonic[4]":  {"true", "true"},
+		"Periodic[4]": {"true", "true"},
+		"Bubble[6]":   {"true", "false"},
+	}
+	for _, row := range tbl.Rows {
+		w, ok := want[row[0]]
+		if !ok {
+			t.Errorf("unexpected row %v", row)
+			continue
+		}
+		if row[3] != w[0] || row[4] != w[1] {
+			t.Errorf("E6 %s: sorts=%s counts=%s, want %v", row[0], row[3], row[4], w)
+		}
+		if w[1] == "false" && row[5] == "" {
+			t.Errorf("E6 %s: no witness recorded", row[0])
+		}
+	}
+}
+
+func TestE7AllPass(t *testing.T) {
+	tbl := E7Isomorphism()
+	for _, row := range tbl.Rows {
+		if row[3] != "ok" || row[4] != "ok" {
+			t.Errorf("E7 %s: counts=%s sorts=%s", row[0], row[3], row[4])
+		}
+	}
+}
+
+func TestE8WithinBounds(t *testing.T) {
+	tbl := E8Staircase()
+	for _, row := range tbl.Rows {
+		if atoi(t, row[5]) > atoi(t, row[6]) {
+			t.Errorf("E8 %s %s %s: depth %s > bound %s", row[0], row[1], row[2], row[5], row[6])
+		}
+		if row[7] != "ok" {
+			t.Errorf("E8 %s %s %s: %s", row[0], row[1], row[2], row[7])
+		}
+	}
+}
+
+func TestE10KEquality(t *testing.T) {
+	tbl := E10Recursive()
+	for _, row := range tbl.Rows {
+		if row[5] != "true" {
+			t.Errorf("E10 %s: depth %s != formula %s", row[0], row[3], row[4])
+		}
+	}
+}
+
+func TestE11Runs(t *testing.T) {
+	tbl := E11Construction()
+	if len(tbl.Rows) < 4 {
+		t.Fatal("E11 too small")
+	}
+	for _, row := range tbl.Rows {
+		if atoi(t, row[3]) <= 0 {
+			t.Errorf("E11 %s: no gates", row[0])
+		}
+	}
+}
+
+func TestE9RunsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput sweep in -short mode")
+	}
+	tbl := E9Throughput(4, 10*time.Millisecond)
+	if len(tbl.Rows) < 3 {
+		t.Fatalf("E9 rows: %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		for _, cell := range row[1:] {
+			if !strings.HasSuffix(cell, "k") {
+				t.Errorf("E9 cell %q not a throughput", cell)
+			}
+		}
+	}
+}
+
+func TestMeasureCounterCountsSomething(t *testing.T) {
+	ops := MeasureCounter(fakeCounter{}, ThroughputOptions{Goroutines: 2, Duration: 20 * time.Millisecond})
+	if ops <= 0 {
+		t.Errorf("throughput %f", ops)
+	}
+}
+
+type fakeCounter struct{}
+
+func (fakeCounter) Next() int64 { return 0 }
+
+func TestAllExperimentsWellFormed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick suite")
+	}
+	tables := All(true)
+	if len(tables) < 16 {
+		t.Fatalf("expected >= 16 experiments, got %d", len(tables))
+	}
+	seen := map[string]bool{}
+	for _, tbl := range tables {
+		if tbl.ID == "" || tbl.Title == "" {
+			t.Errorf("experiment missing ID or title: %+v", tbl)
+		}
+		if seen[tbl.ID] {
+			t.Errorf("duplicate experiment ID %s", tbl.ID)
+		}
+		seen[tbl.ID] = true
+		if len(tbl.Header) == 0 || len(tbl.Rows) == 0 {
+			t.Errorf("%s: empty table", tbl.ID)
+		}
+		for i, row := range tbl.Rows {
+			if len(row) != len(tbl.Header) {
+				t.Errorf("%s row %d: %d cells for %d columns", tbl.ID, i, len(row), len(tbl.Header))
+			}
+		}
+		if tbl.Render() == "" || tbl.Markdown() == "" || tbl.CSV() == "" {
+			t.Errorf("%s: a renderer produced nothing", tbl.ID)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "t", Header: []string{"a", "b"}}
+	tbl.AddRow("plain", `has "quotes", and commas`)
+	csv := tbl.CSV()
+	want := "a,b\nplain,\"has \"\"quotes\"\", and commas\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestDefaultGoroutineSteps(t *testing.T) {
+	steps := DefaultGoroutineSteps()
+	if len(steps) == 0 || steps[0] != 1 {
+		t.Fatalf("steps = %v", steps)
+	}
+	for i := 1; i < len(steps); i++ {
+		if steps[i] != steps[i-1]*2 {
+			t.Fatalf("steps not doubling: %v", steps)
+		}
+	}
+}
+
+func TestStaircaseInputValid(t *testing.T) {
+	// The generator must satisfy its own contract.
+	rngTrials := 100
+	for trial := 0; trial < rngTrials; trial++ {
+		in := StaircaseInput(3, 2, 2, randSource(trial))
+		if len(in) != 12 {
+			t.Fatalf("length %d", len(in))
+		}
+		for b := 0; b < 2; b++ {
+			blk := in[b*6 : (b+1)*6]
+			if !isStep(blk) {
+				t.Fatalf("block %d of %v not step", b, in)
+			}
+		}
+		s0 := sum(in[0:6])
+		s1 := sum(in[6:12])
+		if s0 < s1 || s0-s1 > 2 {
+			t.Fatalf("sums %d,%d violate 2-staircase", s0, s1)
+		}
+	}
+}
+
+func sum(x []int64) int64 {
+	var s int64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	n := 0
+	neg := false
+	for i, c := range s {
+		if i == 0 && c == '-' {
+			neg = true
+			continue
+		}
+		if c < '0' || c > '9' {
+			t.Fatalf("not a number: %q", s)
+		}
+		n = n*10 + int(c-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n
+}
+
+func randSource(seed int) *rand.Rand { return rand.New(rand.NewSource(int64(seed))) }

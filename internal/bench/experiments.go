@@ -1,0 +1,512 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"countnet/internal/baseline"
+	"countnet/internal/core"
+	"countnet/internal/counter"
+	"countnet/internal/factor"
+	"countnet/internal/network"
+	"countnet/internal/runner"
+	"countnet/internal/verify"
+)
+
+func mustK(fs ...int) *network.Network {
+	n, err := core.K(fs...)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func mustL(fs ...int) *network.Network {
+	n, err := core.L(fs...)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func factorsString(fs []int) string {
+	s := ""
+	for i, f := range fs {
+		if i > 0 {
+			s += "x"
+		}
+		s += fmt.Sprint(f)
+	}
+	return s
+}
+
+func okErr(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return "FAIL: " + err.Error()
+}
+
+// e1Factorizations is the factorization suite shared by E1 and E2.
+var e1Factorizations = [][]int{
+	{2, 2}, {3, 5}, {2, 2, 2}, {2, 3, 5}, {4, 4, 4}, {2, 2, 2, 2},
+	{3, 3, 3, 3}, {2, 3, 4, 5}, {2, 2, 2, 2, 2}, {5, 4, 3, 2, 2},
+	{2, 2, 2, 2, 2, 2}, {3, 3, 2, 2, 2, 2},
+}
+
+// E1DepthK reproduces Proposition 6: depth(K(p0..pn-1)) = 1.5n^2-3.5n+2
+// exactly, with balancers of width at most max(pi*pj).
+func E1DepthK() *Table {
+	t := &Table{
+		ID:    "E1",
+		Title: "Proposition 6: depth of family K",
+		Note: "Paper: depth(K) = 1.5n^2 - 3.5n + 2, balancer width <= max(pi*pj).\n" +
+			"Accept: measured == formula, width bound holds, network counts.",
+		Header: []string{"factors", "width", "n", "depth", "formula", "maxGate", "bound", "gates", "counts"},
+	}
+	rng := rand.New(rand.NewSource(101))
+	for _, fs := range e1Factorizations {
+		n := mustK(fs...)
+		countsErr := verify.IsCountingNetwork(n, rng)
+		t.AddRow(factorsString(fs), n.Width(), len(fs), n.Depth(), core.KDepth(len(fs)),
+			n.MaxGateWidth(), core.MaxPairProduct(fs), n.Size(), okErr(countsErr))
+	}
+	return t
+}
+
+// E2DepthL reproduces Theorem 7: depth(L(p0..pn-1)) <= 9.5n^2-12.5n+3
+// with balancers of width at most max(pi).
+func E2DepthL() *Table {
+	t := &Table{
+		ID:    "E2",
+		Title: "Theorem 7: depth of family L",
+		Note: "Paper: depth(L) <= 9.5n^2 - 12.5n + 3, balancer width <= max(pi).\n" +
+			"Accept: measured <= bound, width bound holds, network counts.",
+		Header: []string{"factors", "width", "n", "depth", "bound", "maxGate", "widthBound", "gates", "counts"},
+	}
+	rng := rand.New(rand.NewSource(102))
+	for _, fs := range e1Factorizations {
+		n := mustL(fs...)
+		countsErr := verify.IsCountingNetwork(n, rng)
+		t.AddRow(factorsString(fs), n.Width(), len(fs), n.Depth(), core.LDepthBound(len(fs)),
+			n.MaxGateWidth(), core.MaxFactor(fs), n.Size(), okErr(countsErr))
+	}
+	return t
+}
+
+// E3DepthR reproduces the Section 5.3 bound depth(R(p,q)) <= 16 with
+// balancers of width at most max(p,q), sweeping p,q.
+func E3DepthR(maxPQ int) *Table {
+	t := &Table{
+		ID:    "E3",
+		Title: "Section 5.3: constant-depth R(p,q)",
+		Note: "Paper: depth(R(p,q)) <= 16, balancer width <= max(p,q).\n" +
+			"Accept: both bounds hold for every p,q; spot-checked networks count.",
+		Header: []string{"p", "q", "width", "depth", "maxGate", "max(p,q)", "gates", "counts"},
+	}
+	rng := rand.New(rand.NewSource(103))
+	for p := 2; p <= maxPQ; p++ {
+		for q := 2; q <= maxPQ; q++ {
+			if p != 2 && q != 2 && p != q && q != maxPQ && p != maxPQ && (p*q)%5 != 0 {
+				continue // keep the printed table representative, not exhaustive
+			}
+			n, err := core.R(p, q)
+			if err != nil {
+				panic(err)
+			}
+			m := p
+			if q > m {
+				m = q
+			}
+			status := "ok"
+			if err := verify.CheckDepth(n, core.RDepthBound); err != nil {
+				status = "DEPTH>16"
+			}
+			if err := verify.CheckBalancerWidth(n, m); err != nil {
+				status = "WIDE GATE"
+			}
+			if n.Width() <= 64 {
+				if err := verify.IsCountingNetwork(n, rng); err != nil {
+					status = "NOT COUNTING"
+				}
+			}
+			t.AddRow(p, q, n.Width(), n.Depth(), n.MaxGateWidth(), m, n.Size(), status)
+		}
+	}
+	return t
+}
+
+// E4Tradeoff reproduces the family trade-off of Sections 1 and 6: for a
+// fixed width, each factorization yields a network; coarse
+// factorizations give shallow networks with wide balancers, fine ones
+// deep networks with narrow balancers.
+func E4Tradeoff(width int) *Table {
+	t := &Table{
+		ID:    "E4",
+		Title: fmt.Sprintf("family trade-off at fixed width %d", width),
+		Note: "Paper: one network per factorization of w; max(pi) large & n small => small depth,\n" +
+			"max(pi) small & n large => narrow balancers. Accept: depth grows with n, balancer width shrinks.",
+		Header: []string{"factorization", "n", "L depth", "L bound", "L maxGate", "L gates", "K depth", "K maxGate"},
+	}
+	fss := factor.Factorizations(width, 2)
+	for _, fs := range fss {
+		l := mustL(fs...)
+		k := mustK(fs...)
+		t.AddRow(factorsString(fs), len(fs), l.Depth(), core.LDepthBound(len(fs)),
+			l.MaxGateWidth(), l.Size(), k.Depth(), k.MaxGateWidth())
+	}
+	return t
+}
+
+// E5VsBitonic reproduces the Section 6 comparison: at widths 2^k the
+// bitonic network is shallower than K and L by a constant factor.
+func E5VsBitonic(maxLog int) *Table {
+	t := &Table{
+		ID:    "E5",
+		Title: "Section 6: depth vs the bitonic network at w = 2^k",
+		Note: "Paper: the bitonic network has smaller depth by a constant factor (same 2-balancers as L).\n" +
+			"Accept: bitonic depth < L(2,..,2) depth for all k >= 3 with a roughly constant ratio.\n" +
+			"K(2,..,2) uses width-4 balancers, so its smaller depth at low k is not a like-for-like win.",
+		Header: []string{"w", "k", "bitonic", "periodic", "K(2..2)", "L(2..2)", "K/bitonic", "L/bitonic"},
+	}
+	for k := 2; k <= maxLog; k++ {
+		w := 1 << uint(k)
+		fs := make([]int, k)
+		for i := range fs {
+			fs[i] = 2
+		}
+		bi, _ := baseline.Bitonic(w)
+		kn := mustK(fs...)
+		ln := mustL(fs...)
+		t.AddRow(w, k, bi.Depth(), baseline.PeriodicDepth(w), kn.Depth(), ln.Depth(),
+			float64(kn.Depth())/float64(bi.Depth()), float64(ln.Depth())/float64(bi.Depth()))
+	}
+	return t
+}
+
+// E6Counterexample reproduces Figure 3: the bubble-sort network sorts
+// but is not a counting network, so sorting networks are not counting
+// networks in general.
+func E6Counterexample() *Table {
+	t := &Table{
+		ID:    "E6",
+		Title: "Figure 3: sorting does not imply counting",
+		Note: "Paper: replacing comparators with balancers in a sorting network need not yield a counting network.\n" +
+			"Accept: every network sorts; bubble and odd-even fail the step property, bitonic and periodic pass.",
+		Header: []string{"network", "width", "depth", "sorts", "counts", "witness (token input)"},
+	}
+	rng := rand.New(rand.NewSource(106))
+	add := func(n *network.Network) {
+		sortErr := verify.IsSortingNetwork(n, rng)
+		countErr := verify.IsCountingNetwork(n, rng)
+		witness := ""
+		if countErr != nil {
+			if bad := verify.CountsExhaustive(n, 3); bad != nil {
+				witness = fmt.Sprint(bad)
+			} else {
+				witness = "(randomized witness)"
+			}
+		}
+		t.AddRow(n.Name, n.Width(), n.Depth(), okErr(sortErr) == "ok", okErr(countErr) == "ok", witness)
+	}
+	bu, _ := baseline.Bubble(4)
+	oe, _ := baseline.OddEvenMergeSort(4)
+	bi, _ := baseline.Bitonic(4)
+	pe, _ := baseline.Periodic(4)
+	add(bu)
+	add(oe)
+	add(bi)
+	add(pe)
+	bu6, _ := baseline.Bubble(6)
+	add(bu6)
+	return t
+}
+
+// E7Isomorphism reproduces the Section 1 isomorphism: every counting
+// network, run under comparator semantics, is a sorting network. The
+// same Network value is executed under both engines.
+func E7Isomorphism() *Table {
+	t := &Table{
+		ID:    "E7",
+		Title: "Section 1 / Figure 2: every counting network is a sorting network",
+		Note: "Accept: each constructed counting network passes both the step-property battery and\n" +
+			"the 0-1-principle / randomized sorting battery.",
+		Header: []string{"network", "width", "depth", "counts", "sorts"},
+	}
+	rng := rand.New(rand.NewSource(107))
+	nets := []*network.Network{
+		mustK(2, 3), mustK(2, 3, 5), mustK(3, 3, 2),
+		mustL(2, 3), mustL(2, 3, 5), mustL(4, 3, 2),
+	}
+	r53, _ := core.R(5, 3)
+	r77, _ := core.R(7, 7)
+	nets = append(nets, r53, r77)
+	bi, _ := baseline.Bitonic(16)
+	pe, _ := baseline.Periodic(8)
+	nets = append(nets, bi, pe)
+	for _, n := range nets {
+		t.AddRow(n.Name, n.Width(), n.Depth(),
+			okErr(verify.IsCountingNetwork(n, rng)), okErr(verify.IsSortingNetwork(n, rng)))
+	}
+	return t
+}
+
+// E8Staircase reproduces the staircase-merger depth accounting of
+// Sections 4.3 and 4.3.1: variants cost d+6 / d+9 / 2d+1 / d+3 layers.
+func E8Staircase() *Table {
+	t := &Table{
+		ID:    "E8",
+		Title: "Sections 4.3/4.3.1: staircase-merger variants",
+		Note: "Paper depths: basic <= d+6, substituted <= d+9, optimized+base = 2d+1, optimized+D = d+3.\n" +
+			"Accept: measured <= variant bound for both the K base (d=1) and the R base (d = depth(R)).",
+		Header: []string{"base", "variant", "S(r,p,q)", "width", "d", "depth", "bound", "counts"},
+	}
+	rng := rand.New(rand.NewSource(108))
+	type variant struct {
+		kind  core.StaircaseKind
+		bound func(d int) int
+	}
+	variants := []variant{
+		{core.StaircaseOptBase, func(d int) int { return 2*d + 1 }},
+		{core.StaircaseOptBitonic, func(d int) int { return d + 3 }},
+		{core.StaircaseBasic, func(d int) int { return d + 6 }},
+		{core.StaircaseBasicSub, func(d int) int { return d + 9 }},
+	}
+	cases := [][3]int{{2, 2, 2}, {3, 2, 2}, {2, 3, 2}, {4, 3, 3}, {3, 4, 2}}
+	for _, baseName := range []string{"balancer", "R"} {
+		for _, v := range variants {
+			cfg := core.Config{Base: core.BalancerBase, Staircase: v.kind}
+			if baseName == "R" {
+				cfg.Base = core.RBase
+			}
+			for _, c := range cases {
+				r, p, q := c[0], c[1], c[2]
+				s, err := core.StaircaseNetwork(cfg, r, p, q)
+				if err != nil {
+					panic(err)
+				}
+				d := 1
+				if baseName == "R" {
+					rn, _ := core.R(p, q)
+					d = rn.Depth()
+				}
+				status := okErr(verifyStaircase(s, r, p, q, rng))
+				t.AddRow(baseName, v.kind.String(), fmt.Sprintf("S(%d,%d,%d)", r, p, q),
+					s.Width(), d, s.Depth(), v.bound(d), status)
+			}
+		}
+	}
+	return t
+}
+
+// verifyStaircase feeds the staircase network random inputs satisfying
+// its precondition (each input step, inputs p-staircase) and checks the
+// step property of the output.
+func verifyStaircase(net *network.Network, r, p, q int, rng *rand.Rand) error {
+	for trial := 0; trial < 300; trial++ {
+		in := StaircaseInput(r, p, q, rng)
+		out := runner.ApplyTokens(net, in)
+		if !isStep(out) {
+			return fmt.Errorf("step property fails on staircase input %v", in)
+		}
+	}
+	return nil
+}
+
+// StaircaseInput generates token counts for a standalone staircase
+// network: q contiguous step sequences of length r*p whose sums satisfy
+// the p-staircase property.
+func StaircaseInput(r, p, q int, rng *rand.Rand) []int64 {
+	base := int64(rng.Intn(5 * r * p))
+	sums := make([]int64, q)
+	for i := range sums {
+		sums[i] = base + int64(rng.Intn(p+1))
+	}
+	sort.Slice(sums, func(a, b int) bool { return sums[a] > sums[b] })
+	in := make([]int64, 0, r*p*q)
+	for i := 0; i < q; i++ {
+		in = append(in, stepSeq(r*p, sums[i])...)
+	}
+	return in
+}
+
+func stepSeq(w int, total int64) []int64 {
+	out := make([]int64, w)
+	q, rr := total/int64(w), total%int64(w)
+	for i := range out {
+		out[i] = q
+		if int64(i) < rr {
+			out[i]++
+		}
+	}
+	return out
+}
+
+func isStep(x []int64) bool {
+	for i := 1; i < len(x); i++ {
+		if d := x[i-1] - x[i]; d < 0 || d > 1 {
+			return false
+		}
+	}
+	return len(x) < 2 || x[0]-x[len(x)-1] <= 1
+}
+
+// E10Recursive reproduces Propositions 1 and 3: the recursive depth
+// accounting of C and M against the closed forms, for both bases.
+func E10Recursive() *Table {
+	t := &Table{
+		ID:    "E10",
+		Title: "Propositions 1 & 3: recursive depth accounting",
+		Note: "Paper: depth(C) = (n-1)d + (n^2/2-3n/2+1)sd and depth(M) = d + (n-2)sd.\n" +
+			"Accept: measured <= formula (critical-path packing can only shrink depth); equality for K.",
+		Header: []string{"network", "base", "n", "depth", "formula", "equal"},
+	}
+	for _, fs := range [][]int{{2, 2, 2}, {2, 3, 4}, {3, 3, 3, 3}, {2, 2, 2, 2, 2}} {
+		n := len(fs)
+		k := mustK(fs...)
+		f := core.CDepth(n, 1, 3)
+		t.AddRow("C"+factorsString(fs), "balancer", n, k.Depth(), f, k.Depth() == f)
+
+		mk, err := core.MergerNetwork(core.KConfig(), fs...)
+		if err != nil {
+			panic(err)
+		}
+		fm := core.MDepth(n, 1, 3)
+		t.AddRow("M"+factorsString(fs), "balancer", n, mk.Depth(), fm, mk.Depth() == fm)
+	}
+	return t
+}
+
+// E11Construction measures construction cost: wall time and gate counts
+// for large widths, demonstrating the builder scales.
+func E11Construction() *Table {
+	t := &Table{
+		ID:     "E11",
+		Title:  "construction cost at scale",
+		Note:   "Not a paper claim; records builder throughput and network sizes downstream users can expect.",
+		Header: []string{"network", "width", "depth", "gates", "build time"},
+	}
+	cases := []struct {
+		name  string
+		build func() *network.Network
+	}{
+		{"K(2^10)", func() *network.Network { return mustK(2, 2, 2, 2, 2, 2, 2, 2, 2, 2) }},
+		{"L(2^8)", func() *network.Network { return mustL(2, 2, 2, 2, 2, 2, 2, 2) }},
+		{"L(6,5,4,3)", func() *network.Network { return mustL(6, 5, 4, 3) }},
+		{"K(10,9,8,7)", func() *network.Network { return mustK(10, 9, 8, 7) }},
+		{"Bitonic(1024)", func() *network.Network { n, _ := baseline.Bitonic(1024); return n }},
+		{"Periodic(256)", func() *network.Network { n, _ := baseline.Periodic(256); return n }},
+	}
+	for _, c := range cases {
+		start := time.Now()
+		n := c.build()
+		el := time.Since(start)
+		t.AddRow(c.name, n.Width(), n.Depth(), n.Size(), el.Round(time.Microsecond).String())
+	}
+	return t
+}
+
+// E12SortThroughput compares batch sorting through the comparator
+// engine against the depth structure: deeper networks do more work per
+// batch. (Absolute throughput is machine-dependent; the shape — wider
+// gates, fewer layers, fewer gate visits — is the point.)
+func E12SortThroughput(batches int) *Table {
+	t := &Table{
+		ID:     "E12",
+		Title:  "comparator-engine sort throughput by factorization",
+		Note:   "Not a paper table; sanity-checks the sorting semantics and shows the depth/gate-count trade-off in engine time.",
+		Header: []string{"network", "width", "depth", "gates", "ns/batch"},
+	}
+	rng := rand.New(rand.NewSource(112))
+	nets := []*network.Network{
+		mustL(2, 2, 2, 2, 2, 2), mustL(4, 4, 4), mustL(8, 8), mustK(8, 8), mustK(4, 4, 4),
+	}
+	bi, _ := baseline.Bitonic(64)
+	nets = append(nets, bi)
+	for _, n := range nets {
+		in := make([]int64, n.Width())
+		for i := range in {
+			in[i] = int64(rng.Intn(1000))
+		}
+		start := time.Now()
+		for b := 0; b < batches; b++ {
+			runner.ApplyComparators(n, in)
+		}
+		el := time.Since(start)
+		t.AddRow(n.Name, n.Width(), n.Depth(), n.Size(), fmt.Sprint(el.Nanoseconds()/int64(batches)))
+	}
+	return t
+}
+
+// E9Throughput reproduces the shape of the Felten-LaMarca-Ladner
+// measurements the paper cites ([9]): Fetch&Increment throughput for a
+// fixed width w as balancer width varies, against centralized counters,
+// across thread counts. The paper's motivating observation is that
+// intermediate balancer widths perform best for shared-memory counting
+// networks under contention.
+func E9Throughput(width int, duration time.Duration) *Table {
+	t := &Table{
+		ID:    "E9",
+		Title: fmt.Sprintf("[9]-style counter throughput, network width %d (ops/sec)", width),
+		Note: "Paper-cited claim: optimal performance at intermediate balancer width.\n" +
+			"Accept: centralized counters win uncontended; network counters degrade more slowly with threads.",
+		Header: []string{"counter"},
+	}
+	steps := DefaultGoroutineSteps()
+	for _, g := range steps {
+		t.Header = append(t.Header, fmt.Sprintf("g=%d", g))
+	}
+	addRow := func(name string, mk func() counter.Counter) {
+		row := []interface{}{name}
+		for _, g := range steps {
+			ops := MeasureCounter(mk(), ThroughputOptions{Goroutines: g, Duration: duration})
+			row = append(row, fmt.Sprintf("%.0f", ops/1000)+"k")
+		}
+		t.AddRow(row...)
+	}
+	addRow("atomic", func() counter.Counter { return counter.NewAtomicCounter() })
+	addRow("mutex", func() counter.Counter { return counter.NewMutexCounter() })
+	for _, fs := range factor.Factorizations(width, 2) {
+		fs := fs
+		name := fmt.Sprintf("L[%s] (bal<=%d)", factorsString(fs), core.MaxFactor(fs))
+		addRow(name, func() counter.Counter {
+			return counter.NewNetworkCounter(mustL(fs...), false)
+		})
+	}
+	return t
+}
+
+// All runs the full experiment suite with default parameters. quick
+// shrinks the slow experiments for CI-style runs.
+func All(quick bool) []*Table {
+	e3Max, e5Max := 24, 8
+	e9Dur := 150 * time.Millisecond
+	e12Batches := 2000
+	if quick {
+		e3Max, e5Max = 12, 6
+		e9Dur = 40 * time.Millisecond
+		e12Batches = 200
+	}
+	return []*Table{
+		E1DepthK(),
+		E2DepthL(),
+		E3DepthR(e3Max),
+		E4Tradeoff(64),
+		E5VsBitonic(e5Max),
+		E6Counterexample(),
+		E7Isomorphism(),
+		E8Staircase(),
+		E9Throughput(16, e9Dur),
+		E10Recursive(),
+		E11Construction(),
+		E12SortThroughput(e12Batches),
+		E13Orderings([]int{2, 3, 4}),
+		E14Linearizability(),
+		E15AcyclicVsWrapped(),
+		E16ArbitraryWidthSorting(),
+		E17VerifierSensitivity(),
+		E18WeightedDepth(48),
+	}
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"countnet/internal/counter"
+)
+
+// ThroughputOptions controls a counter throughput measurement.
+type ThroughputOptions struct {
+	// Goroutines is the number of concurrent incrementers.
+	Goroutines int
+	// Duration is the measurement window (after a brief warmup).
+	Duration time.Duration
+	// Warmup precedes the measurement; defaults to Duration/5.
+	Warmup time.Duration
+}
+
+// MeasureCounter runs Goroutines workers hammering the counter for the
+// configured duration and returns the aggregate operations per second.
+// Counters implementing counter.Handled get a private handle per
+// worker, mirroring how a shared-memory counting network is deployed
+// (one entry cursor per processor).
+func MeasureCounter(c counter.Counter, opt ThroughputOptions) float64 {
+	if opt.Goroutines < 1 {
+		opt.Goroutines = 1
+	}
+	if opt.Duration <= 0 {
+		opt.Duration = 100 * time.Millisecond
+	}
+	if opt.Warmup <= 0 {
+		opt.Warmup = opt.Duration / 5
+	}
+	var stop atomic.Bool
+	var measuring atomic.Bool
+	counts := make([]int64, opt.Goroutines*8) // padded by spacing
+	var wg sync.WaitGroup
+	for g := 0; g < opt.Goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			local := c
+			if h, ok := c.(counter.Handled); ok {
+				local = h.Handle(g)
+			}
+			var n int64
+			for !stop.Load() {
+				local.Next()
+				if measuring.Load() {
+					n++
+				}
+			}
+			counts[g*8] = n
+		}(g)
+	}
+	time.Sleep(opt.Warmup)
+	measuring.Store(true)
+	start := time.Now()
+	time.Sleep(opt.Duration)
+	stop.Store(true)
+	elapsed := time.Since(start)
+	wg.Wait()
+	var total int64
+	for g := 0; g < opt.Goroutines; g++ {
+		total += counts[g*8]
+	}
+	return float64(total) / elapsed.Seconds()
+}
+
+// Environment returns a one-line description of the measurement
+// environment, stamped at the top of experiment runs so recorded
+// numbers carry their context.
+func Environment() string {
+	return fmt.Sprintf("go %s, %s/%s, GOMAXPROCS=%d, %d CPUs",
+		runtime.Version(), runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0), runtime.NumCPU())
+}
+
+// DefaultGoroutineSteps returns the goroutine counts used by the
+// contention sweep: 1, 2, ... up to twice the machine parallelism,
+// doubling.
+func DefaultGoroutineSteps() []int {
+	max := runtime.GOMAXPROCS(0) * 2
+	var out []int
+	for g := 1; g <= max; g *= 2 {
+		out = append(out, g)
+	}
+	return out
+}

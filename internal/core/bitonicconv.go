@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"countnet/internal/network"
+)
+
+// bitonicConverter appends the bitonic-converter D(p,q) of Section 4.4:
+// if the input ordering x (length p*q) carries a sequence with the
+// bitonic property (1-smooth with at most two transitions), the
+// returned ordering carries a step sequence.
+//
+// Construction: arrange x as a p x q matrix in column-major form, place
+// a q-balancer across each row and then a p-balancer across each
+// column; read the result in column-major order. Depth 2, balancers of
+// width q and p.
+func bitonicConverter(b *network.Builder, p int, x []int, label string) []int {
+	if len(x) == 0 {
+		return x
+	}
+	if p < 1 || len(x)%p != 0 {
+		panic(fmt.Sprintf("core: bitonicConverter %q length %d not a multiple of p=%d", label, len(x), p))
+	}
+	q := len(x) / p
+
+	w := make([][]int, p)
+	for r := 0; r < p; r++ {
+		w[r] = make([]int, q)
+		for c := 0; c < q; c++ {
+			w[r][c] = x[c*p+r] // column major
+		}
+	}
+	for r := 0; r < p; r++ {
+		b.Add(w[r], label+"/row")
+	}
+	col := make([]int, p)
+	for c := 0; c < q; c++ {
+		for r := 0; r < p; r++ {
+			col[r] = w[r][c]
+		}
+		b.Add(col, label+"/col")
+	}
+	out := make([]int, 0, p*q)
+	for c := 0; c < q; c++ {
+		for r := 0; r < p; r++ {
+			out = append(out, w[r][c])
+		}
+	}
+	return out
+}
+
+// BitonicConverterNetwork builds a standalone D(p,q) over wires
+// 0..p*q-1 in input-sequence order.
+func BitonicConverterNetwork(p, q int) (*network.Network, error) {
+	if p < 1 || q < 1 {
+		return nil, fmt.Errorf("core: invalid bitonic-converter D(%d,%d)", p, q)
+	}
+	b := network.NewBuilder(p * q)
+	name := fmt.Sprintf("D(%d,%d)", p, q)
+	out := bitonicConverter(b, p, network.Identity(p*q), name)
+	return b.Build(name, out), nil
+}

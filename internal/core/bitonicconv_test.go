@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"countnet/internal/runner"
+	"countnet/internal/seq"
+)
+
+// bitonicInputs enumerates every sequence of length n with the paper's
+// bitonic property at base levels a and a+1: 1-smooth, at most two
+// transitions. Both shapes (high-low-high and low-high-low) occur.
+func bitonicInputs(n int, a int64) [][]int64 {
+	var out [][]int64
+	add := func(s []int64) {
+		if !seq.IsBitonic(s) {
+			panic("generator produced non-bitonic sequence")
+		}
+		out = append(out, s)
+	}
+	// Shape hi^i lo^j hi^k for all compositions i+j+k == n (covers
+	// constants, single-transition steps, and both two-transition forms
+	// when combined with the lo-hi-lo shape below).
+	for i := 0; i <= n; i++ {
+		for j := 0; i+j <= n; j++ {
+			k := n - i - j
+			s := make([]int64, 0, n)
+			for x := 0; x < i; x++ {
+				s = append(s, a+1)
+			}
+			for x := 0; x < j; x++ {
+				s = append(s, a)
+			}
+			for x := 0; x < k; x++ {
+				s = append(s, a+1)
+			}
+			add(s)
+			s2 := make([]int64, 0, n)
+			for x := 0; x < i; x++ {
+				s2 = append(s2, a)
+			}
+			for x := 0; x < j; x++ {
+				s2 = append(s2, a+1)
+			}
+			for x := 0; x < k; x++ {
+				s2 = append(s2, a)
+			}
+			add(s2)
+		}
+	}
+	return out
+}
+
+// TestBitonicConverterExhaustive: for every bitonic input, D(p,q)
+// produces a step sequence with the same total.
+func TestBitonicConverterExhaustive(t *testing.T) {
+	for p := 1; p <= 4; p++ {
+		for q := 1; q <= 4; q++ {
+			net, err := BitonicConverterNetwork(p, q)
+			if err != nil {
+				t.Fatalf("D(%d,%d): %v", p, q, err)
+			}
+			if err := net.Validate(); err != nil {
+				t.Fatalf("D(%d,%d) invalid: %v", p, q, err)
+			}
+			if net.Depth() > 2 {
+				t.Errorf("D(%d,%d) depth %d > 2", p, q, net.Depth())
+			}
+			for _, a := range []int64{0, 3} {
+				for _, in := range bitonicInputs(p*q, a) {
+					out := runner.ApplyTokens(net, in)
+					if !seq.IsStep(out) {
+						t.Fatalf("D(%d,%d) on %v: output %v not step", p, q, in, out)
+					}
+					if seq.Sum(out) != seq.Sum(in) {
+						t.Fatalf("D(%d,%d): token loss on %v", p, q, in)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBitonicConverterGateWidths: balancers of width q (rows) and p
+// (columns) only.
+func TestBitonicConverterGateWidths(t *testing.T) {
+	net, err := BitonicConverterNetwork(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := net.GateWidthHistogram()
+	if hist[5] != 3 || hist[3] != 5 {
+		t.Errorf("gate widths: %v, want 3 rows of 5 and 5 columns of 3", hist)
+	}
+	if net.MaxGateWidth() != 5 {
+		t.Errorf("max gate %d", net.MaxGateWidth())
+	}
+}
+
+// TestBitonicConverterRejectsBadParams covers constructor validation.
+func TestBitonicConverterRejectsBadParams(t *testing.T) {
+	if _, err := BitonicConverterNetwork(0, 3); err == nil {
+		t.Error("D(0,3) should be rejected")
+	}
+	if _, err := BitonicConverterNetwork(3, 0); err == nil {
+		t.Error("D(3,0) should be rejected")
+	}
+}

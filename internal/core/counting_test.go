@@ -1,0 +1,363 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"countnet/internal/network"
+	"countnet/internal/runner"
+	"countnet/internal/seq"
+	"countnet/internal/verify"
+)
+
+func TestValidateFactors(t *testing.T) {
+	ok := [][]int{{2}, {2, 2}, {7, 3, 2}}
+	for _, fs := range ok {
+		if err := ValidateFactors(fs); err != nil {
+			t.Errorf("ValidateFactors(%v) = %v", fs, err)
+		}
+	}
+	bad := [][]int{nil, {}, {1}, {0, 2}, {2, -3}, {1 << 20, 1 << 20}}
+	for _, fs := range bad {
+		if err := ValidateFactors(fs); err == nil {
+			t.Errorf("ValidateFactors(%v) accepted", fs)
+		}
+	}
+}
+
+func TestProductAndBounds(t *testing.T) {
+	if Product([]int{2, 3, 5}) != 30 || Product(nil) != 1 {
+		t.Error("Product wrong")
+	}
+	if MaxPairProduct([]int{2, 3, 5}) != 15 {
+		t.Errorf("MaxPairProduct = %d", MaxPairProduct([]int{2, 3, 5}))
+	}
+	if MaxPairProduct([]int{4, 4, 2}) != 16 {
+		t.Errorf("MaxPairProduct duplicate = %d", MaxPairProduct([]int{4, 4, 2}))
+	}
+	if MaxPairProduct([]int{7}) != 7 {
+		t.Errorf("MaxPairProduct single = %d", MaxPairProduct([]int{7}))
+	}
+	if MaxFactor([]int{2, 9, 5}) != 9 {
+		t.Error("MaxFactor wrong")
+	}
+}
+
+func TestDepthFormulas(t *testing.T) {
+	// Spot values from the paper.
+	if KDepth(2) != 1 {
+		t.Errorf("KDepth(2) = %d, want 1", KDepth(2))
+	}
+	if KDepth(3) != 5 {
+		t.Errorf("KDepth(3) = %d, want 5", KDepth(3))
+	}
+	if KDepth(4) != 12 {
+		t.Errorf("KDepth(4) = %d, want 12 (used by R's quadrant A)", KDepth(4))
+	}
+	if LDepthBound(2) != 16 {
+		t.Errorf("LDepthBound(2) = %d, want 16", LDepthBound(2))
+	}
+	if LDepthBound(3) != 51 {
+		t.Errorf("LDepthBound(3) = %d, want 9.5*9-12.5*3+3 = 51", LDepthBound(3))
+	}
+	// Consistency with the generic Proposition 1 accounting.
+	for n := 2; n <= 9; n++ {
+		if KDepth(n) != CDepth(n, 1, 3) {
+			t.Errorf("KDepth(%d) = %d != CDepth(%d,1,3) = %d", n, KDepth(n), n, CDepth(n, 1, 3))
+		}
+		if LDepthBound(n) != CDepth(n, 16, 19) {
+			t.Errorf("LDepthBound(%d) = %d != CDepth(%d,16,19) = %d", n, LDepthBound(n), n, CDepth(n, 16, 19))
+		}
+	}
+	if MDepth(5, 1, 3) != 10 {
+		t.Errorf("MDepth(5,1,3) = %d", MDepth(5, 1, 3))
+	}
+	if CDepth(1, 7, 3) != 7 || MDepth(1, 7, 3) != 7 {
+		t.Error("n<2 depth accounting should return d")
+	}
+}
+
+// TestKDepthExact reproduces Proposition 6 as an equality over a broad
+// factorization sweep: the critical-path depth of K equals the formula.
+func TestKDepthExact(t *testing.T) {
+	sweeps := [][]int{
+		{2, 2}, {9, 5}, {2, 2, 2}, {5, 3, 2}, {2, 3, 5}, {4, 4, 4},
+		{2, 2, 2, 2}, {3, 4, 5, 6}, {6, 5, 4, 3}, {2, 2, 2, 2, 2},
+		{3, 2, 3, 2, 3}, {2, 2, 2, 2, 2, 2}, {2, 2, 3, 3, 2, 2},
+		{2, 2, 2, 2, 2, 2, 2},
+	}
+	for _, fs := range sweeps {
+		n, err := K(fs...)
+		if err != nil {
+			t.Fatalf("K%v: %v", fs, err)
+		}
+		want := KDepth(len(fs))
+		if n.Depth() != want {
+			t.Errorf("K%v depth %d, want exactly %d (Prop 6)", fs, n.Depth(), want)
+		}
+		if err := verify.CheckBalancerWidth(n, MaxPairProduct(fs)); err != nil {
+			t.Errorf("K%v: %v", fs, err)
+		}
+	}
+}
+
+// TestLBounds verifies Theorem 7's depth bound and the max(pi) balancer
+// width bound over a broad sweep.
+func TestLBounds(t *testing.T) {
+	sweeps := [][]int{
+		{2, 2}, {7, 5}, {13, 11}, {2, 2, 2}, {5, 3, 2}, {7, 6, 5},
+		{2, 2, 2, 2}, {3, 4, 5, 6}, {9, 2, 9, 2}, {2, 2, 2, 2, 2},
+		{2, 3, 2, 3, 2, 3},
+	}
+	for _, fs := range sweeps {
+		n, err := L(fs...)
+		if err != nil {
+			t.Fatalf("L%v: %v", fs, err)
+		}
+		if n.Depth() > LDepthBound(len(fs)) {
+			t.Errorf("L%v depth %d > bound %d (Thm 7)", fs, n.Depth(), LDepthBound(len(fs)))
+		}
+		if err := verify.CheckBalancerWidth(n, MaxFactor(fs)); err != nil {
+			t.Errorf("L%v: %v", fs, err)
+		}
+		if err := n.Validate(); err != nil {
+			t.Errorf("L%v: %v", fs, err)
+		}
+	}
+}
+
+// TestKCountsExhaustiveTiny: bounded-exhaustive token check on the
+// smallest interesting K networks.
+func TestKCountsExhaustiveTiny(t *testing.T) {
+	for _, fs := range [][]int{{2, 2}, {2, 3}, {3, 2}, {2, 2, 2}} {
+		n, err := K(fs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxPer := 3
+		if n.Width() > 6 {
+			maxPer = 2
+		}
+		if bad := verify.CountsExhaustive(n, maxPer); bad != nil {
+			t.Errorf("K%v fails on %v", fs, bad)
+		}
+	}
+}
+
+// TestLCountsExhaustiveTiny: the same for L.
+func TestLCountsExhaustiveTiny(t *testing.T) {
+	for _, fs := range [][]int{{2, 2}, {2, 3}, {3, 2}} {
+		n, err := L(fs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad := verify.CountsExhaustive(n, 3); bad != nil {
+			t.Errorf("L%v fails on %v", fs, bad)
+		}
+	}
+}
+
+// TestSingleFactorNetworks: n == 1 degenerates to one balancer.
+func TestSingleFactorNetworks(t *testing.T) {
+	k, err := K(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Size() != 1 || k.Depth() != 1 || k.MaxGateWidth() != 5 {
+		t.Errorf("K(5) should be a single 5-balancer: %v", k)
+	}
+	l, err := L(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() != 1 || l.Depth() != 1 {
+		t.Errorf("L(4) should be a single balancer: %v", l)
+	}
+	if bad := verify.CountsExhaustive(k, 3); bad != nil {
+		t.Errorf("K(5) fails on %v", bad)
+	}
+}
+
+// TestConstructorsRejectBadFactors: public constructors validate.
+func TestConstructorsRejectBadFactors(t *testing.T) {
+	if _, err := K(); err == nil {
+		t.Error("K() accepted")
+	}
+	if _, err := K(1, 2); err == nil {
+		t.Error("K(1,2) accepted")
+	}
+	if _, err := L(0); err == nil {
+		t.Error("L(0) accepted")
+	}
+	if _, err := R(1, 2); err == nil {
+		t.Error("R(1,2) accepted")
+	}
+	if _, err := New(Config{Staircase: StaircaseOptBase}, 2, 2); err == nil {
+		t.Error("New without base accepted")
+	}
+}
+
+// TestAllStaircaseVariantsYieldCountingNetworks: the generic C is a
+// counting network under every staircase variant and both bases.
+func TestAllStaircaseVariantsYieldCountingNetworks(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, base := range []struct {
+		name string
+		fn   BaseFunc
+	}{{"balancer", BalancerBase}, {"R", RBase}} {
+		for _, kind := range allStaircaseKinds {
+			cfg := Config{Base: base.fn, Staircase: kind}
+			for _, fs := range [][]int{{2, 2, 2}, {2, 3, 2}, {3, 2, 3}, {2, 2, 2, 2}} {
+				n, err := New(cfg, fs...)
+				if err != nil {
+					t.Fatalf("C%v (%s, %v): %v", fs, base.name, kind, err)
+				}
+				if err := verify.IsCountingNetwork(n, rng); err != nil {
+					t.Errorf("C%v (%s, %v): %v", fs, base.name, kind, err)
+				}
+			}
+		}
+	}
+}
+
+// TestOutputOrderIsPermutation across constructions.
+func TestOutputOrderIsPermutation(t *testing.T) {
+	nets := []func() (interface{ Validate() error }, error){
+		func() (interface{ Validate() error }, error) { return K(2, 3, 4) },
+		func() (interface{ Validate() error }, error) { return L(3, 4, 5) },
+		func() (interface{ Validate() error }, error) { return R(7, 9) },
+	}
+	for i, mk := range nets {
+		n, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Validate(); err != nil {
+			t.Errorf("net %d: %v", i, err)
+		}
+	}
+}
+
+// TestKQuickProperty: random 3-factor K networks count on random
+// inputs (testing/quick drives factor and input selection).
+func TestKQuickProperty(t *testing.T) {
+	f := func(aRaw, bRaw, cRaw, seed uint8) bool {
+		fs := []int{int(aRaw%3) + 2, int(bRaw%3) + 2, int(cRaw%3) + 2}
+		n, err := K(fs...)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(int64(seed)))
+		in := make([]int64, n.Width())
+		for i := range in {
+			in[i] = int64(rng.Intn(9))
+		}
+		out := runner.ApplyTokens(n, in)
+		return seq.IsStep(out) && seq.Sum(out) == seq.Sum(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLQuickProperty: the same for L.
+func TestLQuickProperty(t *testing.T) {
+	f := func(aRaw, bRaw, seed uint8) bool {
+		fs := []int{int(aRaw%4) + 2, int(bRaw%4) + 2}
+		n, err := L(fs...)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(int64(seed)))
+		in := make([]int64, n.Width())
+		for i := range in {
+			in[i] = int64(rng.Intn(11))
+		}
+		out := runner.ApplyTokens(n, in)
+		return seq.IsStep(out) && seq.Sum(out) == seq.Sum(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFamiliesCrossCheck: the step distribution for a given input total
+// is unique, so every width-16 counting network — K, L, R, across
+// factorizations — must produce byte-identical outputs on the same
+// inputs.
+func TestFamiliesCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	var nets []*network.Network
+	for _, fs := range [][]int{{16}, {8, 2}, {4, 4}, {2, 2, 4}, {2, 2, 2, 2}} {
+		k, err := K(fs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := L(fs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets = append(nets, k, l)
+	}
+	r, err := R(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets = append(nets, r)
+	if err := verify.CrossCheck(nets, 400, rng); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFactorOrderIndependence: the paper notes every ordering of a
+// factor multiset yields a (different) counting network with the same
+// formula depth; for K the measured depth must be identical across
+// orderings.
+func TestFactorOrderIndependence(t *testing.T) {
+	orders := [][]int{
+		{2, 3, 5}, {2, 5, 3}, {3, 2, 5}, {3, 5, 2}, {5, 2, 3}, {5, 3, 2},
+	}
+	rng := rand.New(rand.NewSource(77))
+	var depth0 int
+	for i, fs := range orders {
+		n, err := K(fs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			depth0 = n.Depth()
+		} else if n.Depth() != depth0 {
+			t.Errorf("K%v depth %d differs from K%v depth %d", fs, n.Depth(), orders[0], depth0)
+		}
+		if err := verify.IsCountingNetwork(n, rng); err != nil {
+			t.Errorf("K%v: %v", fs, err)
+		}
+	}
+}
+
+// TestIsomorphismSortingSide: the constructed counting networks also
+// sort (0-1 principle exhaustively for small widths).
+func TestIsomorphismSortingSide(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	nets := []struct {
+		name string
+		fs   []int
+	}{
+		{"K", []int{2, 3}}, {"K", []int{2, 2, 2}}, {"K", []int{2, 2, 3}},
+		{"L", []int{2, 3}}, {"L", []int{2, 2, 2}}, {"L", []int{3, 3}},
+	}
+	for _, c := range nets {
+		build := K
+		if c.name == "L" {
+			build = L
+		}
+		n, err := build(c.fs...)
+		if err != nil {
+			t.Fatalf("%s%v: %v", c.name, c.fs, err)
+		}
+		if verr := verify.IsSortingNetwork(n, rng); verr != nil {
+			t.Errorf("%s%v: %v", c.name, c.fs, verr)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"countnet/internal/network"
+	"countnet/internal/verify"
+)
+
+// TestFamiliesSortAllZeroOneInputs: the 0-1 principle, exhaustively,
+// for family networks of width <= 14 — 2^w batches each, the strongest
+// per-network sorting guarantee that can be checked completely.
+func TestFamiliesSortAllZeroOneInputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive 0-1 sweep")
+	}
+	cases := []struct {
+		name  string
+		build func() (*network.Network, error)
+	}{
+		{"K(2,2)", func() (*network.Network, error) { return K(2, 2) }},
+		{"K(2,3)", func() (*network.Network, error) { return K(2, 3) }},
+		{"K(3,4)", func() (*network.Network, error) { return K(3, 4) }},
+		{"K(2,2,3)", func() (*network.Network, error) { return K(2, 2, 3) }},
+		{"L(2,2)", func() (*network.Network, error) { return L(2, 2) }},
+		{"L(2,5)", func() (*network.Network, error) { return L(2, 5) }},
+		{"L(3,4)", func() (*network.Network, error) { return L(3, 4) }},
+		{"L(2,2,3)", func() (*network.Network, error) { return L(2, 2, 3) }},
+		{"R(3,4)", func() (*network.Network, error) { return R(3, 4) }},
+		{"R(2,7)", func() (*network.Network, error) { return R(2, 7) }},
+		{"R(2,6)", func() (*network.Network, error) { return R(2, 6) }},
+	}
+	for _, c := range cases {
+		built, err := c.build()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		bad, err := verify.SortsZeroOne(built, 14)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if bad != nil {
+			t.Errorf("%s fails to sort 0-1 input %v", c.name, bad)
+		}
+	}
+}
+
+// TestFamiliesCountExhaustiveTinyWide: bounded-exhaustive token sweeps
+// with a deeper per-wire range than the standard battery uses.
+func TestFamiliesCountExhaustiveTinyWide(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive token sweep")
+	}
+	cases := []struct {
+		name  string
+		build func() (*network.Network, error)
+		max   int
+	}{
+		{"K(2,2)", func() (*network.Network, error) { return K(2, 2) }, 7},
+		{"L(2,2)", func() (*network.Network, error) { return L(2, 2) }, 7},
+		{"R(2,3)", func() (*network.Network, error) { return R(2, 3) }, 5},
+		{"K(2,3)", func() (*network.Network, error) { return K(2, 3) }, 5},
+		{"L(3,2)", func() (*network.Network, error) { return L(3, 2) }, 5},
+	}
+	for _, c := range cases {
+		built, err := c.build()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if bad := verify.CountsExhaustive(built, c.max); bad != nil {
+			t.Errorf("%s fails step property on %v", c.name, bad)
+		}
+	}
+}

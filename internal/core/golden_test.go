@@ -1,0 +1,71 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"countnet/internal/network"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden network files")
+
+// goldenNetworks pins the exact gate-level structure of representative
+// constructions. Any change to the construction code that alters
+// wiring — even behaviour-preserving — shows up here and must be
+// deliberate (regenerate with `go test ./internal/core -run Golden -update`).
+func goldenNetworks() map[string]func() (*network.Network, error) {
+	return map[string]func() (*network.Network, error){
+		"K_2_2_2":  func() (*network.Network, error) { return K(2, 2, 2) },
+		"L_2_3":    func() (*network.Network, error) { return L(2, 3) },
+		"R_3_3":    func() (*network.Network, error) { return R(3, 3) },
+		"R_5_7":    func() (*network.Network, error) { return R(5, 7) },
+		"T_3_2_2":  func() (*network.Network, error) { return TwoMergerNetwork(3, 2, 2) },
+		"D_3_4":    func() (*network.Network, error) { return BitonicConverterNetwork(3, 4) },
+		"S_3_2_2K": func() (*network.Network, error) { return StaircaseNetwork(KConfig(), 3, 2, 2) },
+		"S_2_2_2L": func() (*network.Network, error) { return StaircaseNetwork(LConfig(), 2, 2, 2) },
+	}
+}
+
+func TestGoldenNetworks(t *testing.T) {
+	for name, build := range goldenNetworks() {
+		t.Run(name, func(t *testing.T) {
+			n, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := json.MarshalIndent(n, "", " ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			data = append(data, '\n')
+			path := filepath.Join("testdata", name+".golden.json")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if string(want) != string(data) {
+				t.Errorf("construction drifted from golden file %s;\nif intentional, regenerate with -update", path)
+			}
+			// Golden files must themselves decode into valid networks.
+			var back network.Network
+			if err := json.Unmarshal(want, &back); err != nil {
+				t.Fatalf("golden file does not decode: %v", err)
+			}
+			if err := back.Validate(); err != nil {
+				t.Fatalf("golden network invalid: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,7 @@
+package core
+
+import "countnet/internal/network"
+
+// Test shorthands.
+func newTestBuilder(w int) *network.Builder { return network.NewBuilder(w) }
+func identity(w int) []int                  { return network.Identity(w) }

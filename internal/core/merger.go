@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"countnet/internal/network"
+	"countnet/internal/seq"
+)
+
+// merger appends the merger network M(p0,...,pn-1) of Section 4.2.
+// inputs holds the p(n-1) input orderings X_0..X_{p(n-1)-1}, each of
+// length w(n-2) = p0*...*p(n-2). If each input carries a step sequence,
+// the returned ordering of all w(n-1) wires carries a step sequence.
+//
+// For n == 2 the merger is the base network C(p0,p1). For n > 2, take
+// p(n-2) copies of M(p0,..,p(n-3),p(n-1)); copy i receives the strided
+// subsequences X_j[i, p(n-2)]; their outputs Y_0..Y_{p(n-2)-1} satisfy
+// the p(n-1)-staircase property (Proposition 2) and are merged by the
+// staircase-merger S(w(n-3), p(n-1), p(n-2)).
+func merger(b *network.Builder, factors []int, inputs [][]int, cfg Config, label string) []int {
+	n := len(factors)
+	if n < 2 {
+		panic(fmt.Sprintf("core: merger %q with %d factors", label, n))
+	}
+	if len(inputs) != factors[n-1] {
+		panic(fmt.Sprintf("core: merger %q got %d inputs, want p(n-1)=%d", label, len(inputs), factors[n-1]))
+	}
+	wEach := Product(factors[:n-1]) // w(n-2): length of each input sequence
+	for i, x := range inputs {
+		if len(x) != wEach {
+			panic(fmt.Sprintf("core: merger %q input %d has length %d, want w(n-2)=%d", label, i, len(x), wEach))
+		}
+	}
+	if n == 2 {
+		return cfg.Base(b, seq.Concat(inputs...), factors[0], factors[1], label+"/M.base")
+	}
+
+	pn1 := factors[n-1] // p(n-1): number of input sequences
+	pn2 := factors[n-2] // p(n-2): number of sub-merger copies
+
+	// Sub-merger factor list: p0,...,p(n-3),p(n-1).
+	subFactors := append(append([]int(nil), factors[:n-2]...), pn1)
+	ys := make([][]int, pn2)
+	for i := 0; i < pn2; i++ {
+		subInputs := make([][]int, pn1)
+		for j := 0; j < pn1; j++ {
+			subInputs[j] = seq.Stride(inputs[j], i, pn2)
+		}
+		ys[i] = merger(b, subFactors, subInputs, cfg, label)
+	}
+
+	// S(w(n-3), p(n-1), p(n-2)).
+	r := Product(factors[:n-2])
+	return staircase(b, r, pn1, pn2, ys, cfg, label)
+}
+
+// buildCounting appends the counting network C(p0,...,pn-1) of Section
+// 4.1 over the wires `in` and returns the output ordering. For n == 1
+// the network is a single balancer; for n == 2 it is the base network;
+// for n > 2 it is p(n-1) copies of C(p0..p(n-2)) followed by the merger
+// M(p0..p(n-1)).
+func buildCounting(b *network.Builder, in []int, factors []int, cfg Config, label string) []int {
+	n := len(factors)
+	switch {
+	case n == 0:
+		panic("core: counting with no factors")
+	case n == 1:
+		b.Add(in, label+"/C.balancer")
+		return in
+	case n == 2:
+		return cfg.Base(b, in, factors[0], factors[1], label+"/C.base")
+	}
+	pn1 := factors[n-1]
+	blockLen := len(in) / pn1
+	outs := make([][]int, pn1)
+	for i := 0; i < pn1; i++ {
+		outs[i] = buildCounting(b, in[i*blockLen:(i+1)*blockLen], factors[:n-1], cfg, label)
+	}
+	return merger(b, factors, outs, cfg, label)
+}
+
+// MergerNetwork builds a standalone M(p0,...,pn-1) under cfg. Input
+// sequence X_i occupies the contiguous wires [i*w(n-2), (i+1)*w(n-2)).
+func MergerNetwork(cfg Config, factors ...int) (*network.Network, error) {
+	if err := ValidateFactors(factors); err != nil {
+		return nil, err
+	}
+	if len(factors) < 2 {
+		return nil, fmt.Errorf("core: merger needs at least two factors")
+	}
+	if cfg.Base == nil {
+		return nil, fmt.Errorf("core: config without base network")
+	}
+	w := Product(factors)
+	n := len(factors)
+	each := w / factors[n-1]
+	b := network.NewBuilder(w)
+	id := network.Identity(w)
+	inputs := make([][]int, factors[n-1])
+	for i := range inputs {
+		inputs[i] = id[i*each : (i+1)*each]
+	}
+	name := factorsName("M", factors)
+	out := merger(b, factors, inputs, cfg, name)
+	return b.Build(name, out), nil
+}

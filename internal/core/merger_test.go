@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"countnet/internal/runner"
+	"countnet/internal/seq"
+)
+
+// mergerInput builds token counts for a standalone merger network:
+// p(n-1) contiguous step sequences of length w(n-2) with arbitrary,
+// independent sums (the merger requires only the step property of each
+// input, no staircase relation).
+func mergerInput(factors []int, sums []int64) []int64 {
+	n := len(factors)
+	each := Product(factors[:n-1])
+	in := make([]int64, 0, each*factors[n-1])
+	for _, s := range sums {
+		in = append(in, seq.MakeStep(each, s)...)
+	}
+	return in
+}
+
+// TestMergerExhaustiveSmall: M(p0,p1,p2) over all sum tuples in a box.
+func TestMergerExhaustiveSmall(t *testing.T) {
+	for _, fs := range [][]int{{2, 2, 2}, {2, 2, 3}, {3, 2, 2}, {2, 3, 2}} {
+		for _, cfg := range []Config{KConfig(), LConfig()} {
+			net, err := MergerNetwork(cfg, fs...)
+			if err != nil {
+				t.Fatalf("M%v: %v", fs, err)
+			}
+			if err := net.Validate(); err != nil {
+				t.Fatalf("M%v invalid: %v", fs, err)
+			}
+			n := len(fs)
+			each := Product(fs[:n-1])
+			numIn := fs[n-1]
+			sums := make([]int64, numIn)
+			var rec func(i int) bool
+			rec = func(i int) bool {
+				if i == numIn {
+					in := mergerInput(fs, sums)
+					out := runner.ApplyTokens(net, in)
+					if !seq.IsStep(out) {
+						t.Errorf("M%v on sums %v: output %v not step", fs, sums, out)
+						return false
+					}
+					return true
+				}
+				for s := int64(0); s <= int64(2*each+1); s++ {
+					sums[i] = s
+					if !rec(i + 1) {
+						return false
+					}
+				}
+				return true
+			}
+			rec(0)
+		}
+	}
+}
+
+// TestMergerRandomLarger: randomized sums on 4- and 5-factor mergers.
+func TestMergerRandomLarger(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, fs := range [][]int{{2, 2, 2, 2}, {2, 3, 2, 2}, {3, 2, 2, 3}, {2, 2, 2, 2, 2}} {
+		for _, cfg := range []Config{KConfig(), LConfig()} {
+			net, err := MergerNetwork(cfg, fs...)
+			if err != nil {
+				t.Fatalf("M%v: %v", fs, err)
+			}
+			n := len(fs)
+			each := Product(fs[:n-1])
+			for trial := 0; trial < 400; trial++ {
+				sums := make([]int64, fs[n-1])
+				for i := range sums {
+					sums[i] = int64(rng.Intn(4 * each))
+				}
+				in := mergerInput(fs, sums)
+				out := runner.ApplyTokens(net, in)
+				if !seq.IsStep(out) {
+					t.Fatalf("M%v on sums %v: output %v not step", fs, sums, out)
+				}
+				if seq.Sum(out) != seq.Sum(in) {
+					t.Fatalf("M%v: token loss", fs)
+				}
+			}
+		}
+	}
+}
+
+// TestMergerDepthProposition3: for the K base (d=1, sd=3) the merger
+// depth matches d + (n-2)*sd exactly on uniform factorizations.
+func TestMergerDepthProposition3(t *testing.T) {
+	for _, fs := range [][]int{{2, 2}, {2, 2, 2}, {2, 2, 2, 2}, {3, 3, 3}, {2, 3, 4, 5}} {
+		net, err := MergerNetwork(KConfig(), fs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := MDepth(len(fs), 1, 3)
+		if net.Depth() != want {
+			t.Errorf("M%v depth %d, want %d (Prop 3)", fs, net.Depth(), want)
+		}
+	}
+}
+
+// TestMergerBaseCase: M(p0,p1) is exactly the base network.
+func TestMergerBaseCase(t *testing.T) {
+	net, err := MergerNetwork(KConfig(), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Size() != 1 || net.MaxGateWidth() != 12 {
+		t.Errorf("M(3,4) with balancer base: %d gates, max width %d", net.Size(), net.MaxGateWidth())
+	}
+}
+
+// TestMergerStepInputRequired documents the precondition has teeth:
+// non-step inputs can produce non-step outputs.
+func TestMergerStepInputRequired(t *testing.T) {
+	net, err := MergerNetwork(KConfig(), 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reversed step sequences (ascending) violate the precondition.
+	in := []int64{0, 5, 0, 0, 0, 0, 0, 0}
+	out := runner.ApplyTokens(net, in)
+	if seq.IsStep(out) {
+		t.Log("note: M(2,2,2) fixed this non-step input anyway")
+	}
+}
+
+// TestMergerRejectsBadParams covers validation.
+func TestMergerRejectsBadParams(t *testing.T) {
+	if _, err := MergerNetwork(KConfig(), 5); err == nil {
+		t.Error("single-factor merger accepted")
+	}
+	if _, err := MergerNetwork(KConfig(), 1, 2); err == nil {
+		t.Error("factor 1 accepted")
+	}
+	if _, err := MergerNetwork(Config{}, 2, 2); err == nil {
+		t.Error("nil base accepted")
+	}
+}
+
+// TestMergerProposition2 checks the staircase lemma on live data: run
+// the sub-mergers of M(p0,p1,p2) and confirm their outputs satisfy the
+// p2-staircase property for random step inputs.
+func TestMergerProposition2(t *testing.T) {
+	// Build only the sub-merger stage by hand: inputs X_j split by
+	// stride across p1 copies of M(p0,p2)=C(p0,p2).
+	fs := []int{2, 3, 2} // p0=2, p1=3, p2=2
+	w := Product(fs)
+	b := newTestBuilder(w)
+	id := identity(w)
+	each := Product(fs[:2]) // 6
+	inputs := [][]int{id[0:each], id[each : 2*each]}
+	pn1, pn2 := fs[2], fs[1]
+	ys := make([][]int, pn2)
+	for i := 0; i < pn2; i++ {
+		var sub []int
+		for j := 0; j < pn1; j++ {
+			sub = append(sub, seq.Stride(inputs[j], i, pn2)...)
+		}
+		b.Add(sub, "subM")
+		ys[i] = sub
+	}
+	net := b.Build("subMergers", nil)
+
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 500; trial++ {
+		in := make([]int64, w)
+		s0, s1 := int64(rng.Intn(20)), int64(rng.Intn(20))
+		copy(in[0:each], seq.MakeStep(each, s0))
+		copy(in[each:], seq.MakeStep(each, s1))
+		outWires := runner.ApplyTokens(net, in) // identity order: counts per wire
+		ysCounts := make([][]int64, pn2)
+		for i, y := range ys {
+			ysCounts[i] = make([]int64, len(y))
+			for k, wire := range y {
+				ysCounts[i][k] = outWires[wire]
+			}
+		}
+		if !seq.IsStaircase(ysCounts, int64(pn1)) {
+			t.Fatalf("Proposition 2 violated on sums (%d,%d): %v", s0, s1, ysCounts)
+		}
+	}
+}

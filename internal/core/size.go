@@ -1,0 +1,159 @@
+package core
+
+// Gate-count accounting for family K, derived from the construction's
+// recursive structure (the paper gives depth accounting only; the gate
+// counts below follow the same recurrences and are verified against
+// built networks in tests — a structural-fidelity check independent of
+// depth).
+
+// kStaircaseGates counts the gates of S(r,p,q) under the K
+// instantiation (balancer base, optimized staircase with base
+// finisher): r base balancers, r*floor(pq/2) 2-balancers in layer ell,
+// and r finisher balancers — except that a single block needs only its
+// base.
+func kStaircaseGates(r, p, q int) int {
+	if r == 1 {
+		return 1
+	}
+	return 2*r + r*(p*q/2)
+}
+
+// kMergerGates counts the gates of M(p0..pn-1) under the K
+// instantiation.
+func kMergerGates(factors []int) int {
+	n := len(factors)
+	if n == 2 {
+		return 1
+	}
+	pn1, pn2 := factors[n-1], factors[n-2]
+	sub := append(append([]int(nil), factors[:n-2]...), pn1)
+	r := Product(factors[:n-2])
+	return pn2*kMergerGates(sub) + kStaircaseGates(r, pn1, pn2)
+}
+
+// KGateCount returns the number of balancers in K(p0..pn-1), by the
+// construction recurrence.
+func KGateCount(factors []int) int {
+	n := len(factors)
+	switch {
+	case n == 0:
+		return 0
+	case n <= 2:
+		return 1
+	}
+	pn1 := factors[n-1]
+	return pn1*KGateCount(factors[:n-1]) + kMergerGates(factors)
+}
+
+// twoMergerGates counts the gates of T(p, q0, q1), honoring the same
+// degenerate-case elisions as the builder (empty sides pass through,
+// width-1 gates are skipped).
+func twoMergerGates(p, q0, q1 int) int {
+	if q0 == 0 || q1 == 0 || p == 0 {
+		return 0
+	}
+	g := 0
+	if q0+q1 >= 2 {
+		g += p // row balancers
+	}
+	if p >= 2 {
+		g += q0 + q1 // column balancers
+	}
+	return g
+}
+
+// bitonicConverterGates counts the gates of D(p,q).
+func bitonicConverterGates(p, q int) int {
+	if p == 0 || q == 0 {
+		return 0
+	}
+	g := 0
+	if q >= 2 {
+		g += p
+	}
+	if p >= 2 {
+		g += q
+	}
+	return g
+}
+
+// RGateCount mirrors buildR's region logic to predict the number of
+// balancers in R(p,q).
+func RGateCount(p, q int) int {
+	m := p
+	if q > m {
+		m = q
+	}
+	ph, qh := isqrt(p), isqrt(q)
+	pb, qb := p-ph*ph, q-qh*qh
+	pb0, pb1 := pb/2, pb-pb/2
+	qb0, qb1 := qb/2, qb-qb/2
+
+	step := func(size int, kFactors []int) int {
+		if size <= 1 {
+			return 0
+		}
+		if size <= m {
+			return 1
+		}
+		return KGateCount(kFactors)
+	}
+	g := 0
+	g += step(ph*ph*qh*qh, []int{ph, ph, qh, qh})
+	g += step(ph*ph*qb0, []int{qb0, ph, ph})
+	g += step(ph*ph*qb1, []int{qb1, ph, ph})
+	g += twoMergerGates(ph*ph, qb0, qb1)
+	g += step(pb0*qh*qh, []int{pb0, qh, qh})
+	g += step(pb1*qh*qh, []int{pb1, qh, qh})
+	g += twoMergerGates(qh*qh, pb0, pb1)
+	g += step(pb0*qb0, nil)
+	g += step(pb0*qb1, nil)
+	g += step(pb1*qb0, nil)
+	g += step(pb1*qb1, nil)
+	g += twoMergerGates(pb0, qb0, qb1)
+	g += twoMergerGates(pb1, qb0, qb1)
+	g += twoMergerGates(qb, pb0, pb1)
+	g += twoMergerGates(ph*ph, qh*qh, qb)
+	g += twoMergerGates(pb, qh*qh, qb)
+	g += twoMergerGates(q, ph*ph, pb)
+	return g
+}
+
+// lStaircaseGates counts the gates of S(r,p,q) under the L
+// instantiation (R base, optimized staircase with bitonic-converter
+// finisher).
+func lStaircaseGates(r, p, q int) int {
+	if r == 1 {
+		return RGateCount(p, q)
+	}
+	return r*RGateCount(p, q) + r*(p*q/2) + r*bitonicConverterGates(p, q)
+}
+
+// lMergerGates counts the gates of M(p0..pn-1) under the L
+// instantiation.
+func lMergerGates(factors []int) int {
+	n := len(factors)
+	if n == 2 {
+		return RGateCount(factors[0], factors[1])
+	}
+	pn1, pn2 := factors[n-1], factors[n-2]
+	sub := append(append([]int(nil), factors[:n-2]...), pn1)
+	r := Product(factors[:n-2])
+	return pn2*lMergerGates(sub) + lStaircaseGates(r, pn1, pn2)
+}
+
+// LGateCount returns the number of balancers in L(p0..pn-1), by the
+// construction recurrence.
+func LGateCount(factors []int) int {
+	n := len(factors)
+	switch {
+	case n == 0:
+		return 0
+	case n == 1:
+		return 1
+	case n == 2:
+		return RGateCount(factors[0], factors[1])
+	}
+	pn1 := factors[n-1]
+	return pn1*LGateCount(factors[:n-1]) + lMergerGates(factors)
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"countnet/internal/verify"
+)
+
+// TestSmokeEverything is an early broad sweep: K, L, R over assorted
+// factorizations must be counting networks within their structural
+// bounds. The dedicated per-construction test files dig deeper.
+func TestSmokeEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	factorLists := [][]int{
+		{2, 2}, {2, 3}, {3, 2}, {2, 2, 2}, {2, 3, 2}, {3, 3},
+		{2, 2, 3}, {4, 3}, {5, 2}, {2, 2, 2, 2}, {3, 2, 4},
+		{5, 3, 2}, {2, 5, 3},
+	}
+	for _, fs := range factorLists {
+		k, err := K(fs...)
+		if err != nil {
+			t.Fatalf("K%v: %v", fs, err)
+		}
+		if err := k.Validate(); err != nil {
+			t.Fatalf("K%v invalid: %v", fs, err)
+		}
+		if err := verify.IsCountingNetwork(k, rng); err != nil {
+			t.Errorf("K%v: %v", fs, err)
+		}
+		if err := verify.CheckBalancerWidth(k, MaxPairProduct(fs)); err != nil {
+			t.Errorf("K%v: %v", fs, err)
+		}
+		if got, want := k.Depth(), KDepth(len(fs)); got > want {
+			t.Errorf("K%v: depth %d > formula %d", fs, got, want)
+		}
+
+		l, err := L(fs...)
+		if err != nil {
+			t.Fatalf("L%v: %v", fs, err)
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("L%v invalid: %v", fs, err)
+		}
+		if err := verify.IsCountingNetwork(l, rng); err != nil {
+			t.Errorf("L%v: %v", fs, err)
+		}
+		if err := verify.CheckBalancerWidth(l, MaxFactor(fs)); err != nil {
+			t.Errorf("L%v: %v", fs, err)
+		}
+		if got, want := l.Depth(), LDepthBound(len(fs)); got > want {
+			t.Errorf("L%v: depth %d > bound %d", fs, got, want)
+		}
+	}
+
+	for p := 2; p <= 9; p++ {
+		for q := 2; q <= 9; q++ {
+			r, err := R(p, q)
+			if err != nil {
+				t.Fatalf("R(%d,%d): %v", p, q, err)
+			}
+			if err := r.Validate(); err != nil {
+				t.Fatalf("R(%d,%d) invalid: %v", p, q, err)
+			}
+			if err := verify.IsCountingNetwork(r, rng); err != nil {
+				t.Errorf("R(%d,%d): %v", p, q, err)
+			}
+			maxpq := p
+			if q > maxpq {
+				maxpq = q
+			}
+			if err := verify.CheckBalancerWidth(r, maxpq); err != nil {
+				t.Errorf("R(%d,%d): %v", p, q, err)
+			}
+			if err := verify.CheckDepth(r, RDepthBound); err != nil {
+				t.Errorf("R(%d,%d): %v", p, q, err)
+			}
+		}
+	}
+}

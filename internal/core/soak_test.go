@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"countnet/internal/runner"
+	"countnet/internal/seq"
+	"countnet/internal/verify"
+)
+
+// Soak tests: heavier sweeps that earn their runtime. All skipped
+// under -short.
+
+func TestSoakLargeFactorizationsCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	rng := rand.New(rand.NewSource(1001))
+	cases := [][]int{
+		{7, 6, 5},          // width 210
+		{4, 4, 4, 4},       // width 256
+		{3, 3, 3, 3, 3},    // width 243
+		{2, 2, 2, 2, 2, 2}, // width 64, n=6
+		{11, 13},           // large prime pair
+		{9, 8, 7},          // width 504
+	}
+	for _, fs := range cases {
+		k, err := K(fs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := L(fs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 60; trial++ {
+			in := make([]int64, k.Width())
+			for i := range in {
+				in[i] = int64(rng.Intn(1000))
+			}
+			if out := runner.ApplyTokens(k, in); !seq.IsStep(out) {
+				t.Fatalf("K%v fails on trial %d", fs, trial)
+			}
+			if out := runner.ApplyTokens(l, in); !seq.IsStep(out) {
+				t.Fatalf("L%v fails on trial %d", fs, trial)
+			}
+		}
+		if err := verify.CheckBalancerWidth(l, MaxFactor(fs)); err != nil {
+			t.Errorf("L%v: %v", fs, err)
+		}
+		if got, want := k.Depth(), KDepth(len(fs)); got != want {
+			t.Errorf("K%v: depth %d != %d", fs, got, want)
+		}
+	}
+}
+
+func TestSoakRBigGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	rng := rand.New(rand.NewSource(1002))
+	for p := 13; p <= 19; p++ {
+		for q := 13; q <= 19; q++ {
+			n, err := R(p, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := p
+			if q > m {
+				m = q
+			}
+			if n.Depth() > RDepthBound {
+				t.Errorf("R(%d,%d) depth %d", p, q, n.Depth())
+			}
+			if err := verify.CheckBalancerWidth(n, m); err != nil {
+				t.Errorf("R(%d,%d): %v", p, q, err)
+			}
+			for trial := 0; trial < 30; trial++ {
+				in := make([]int64, n.Width())
+				for i := range in {
+					in[i] = int64(rng.Intn(500))
+				}
+				if out := runner.ApplyTokens(n, in); !seq.IsStep(out) {
+					t.Fatalf("R(%d,%d) fails on %v", p, q, in)
+				}
+			}
+		}
+	}
+}
+
+func TestSoakSortingLargeWidths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	rng := rand.New(rand.NewSource(1003))
+	l, err := L(5, 5, 5) // width 125
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		in := make([]int64, 125)
+		for i := range in {
+			in[i] = int64(rng.Intn(3)) // many duplicates stress stability of ranking
+		}
+		out := runner.ApplyComparators(l, in)
+		for i := 1; i < len(out); i++ {
+			if out[i-1] < out[i] {
+				t.Fatalf("not sorted at trial %d", trial)
+			}
+		}
+	}
+}

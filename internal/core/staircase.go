@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"countnet/internal/network"
+)
+
+// staircase appends the staircase-merger S(r,p,q) of Section 4.3 to the
+// builder. xs holds the q input orderings X_0..X_{q-1}, each of length
+// r*p. If each X_i carries a step sequence and together they satisfy
+// the p-staircase property, the returned ordering of all r*p*q wires
+// carries a step sequence.
+//
+// The input sequences are the columns of an (r*p) x q matrix A, which
+// is partitioned into r blocks A_0..A_{r-1} of p rows each; block
+// sequences are read in row-major order, and the output is A in
+// row-major order, i.e. the concatenation of the final block orderings.
+func staircase(b *network.Builder, r, p, q int, xs [][]int, cfg Config, label string) []int {
+	if len(xs) != q {
+		panic(fmt.Sprintf("core: staircase %q got %d inputs, want q=%d", label, len(xs), q))
+	}
+	for i, x := range xs {
+		if len(x) != r*p {
+			panic(fmt.Sprintf("core: staircase %q input %d has length %d, want r*p=%d", label, i, len(x), r*p))
+		}
+	}
+
+	// Block i, read in row-major order: element j of the block sits in
+	// absolute row i*p + j/q, column j%q; column c of A is xs[c].
+	blocks := make([][]int, r)
+	for i := 0; i < r; i++ {
+		blk := make([]int, p*q)
+		for j := 0; j < p*q; j++ {
+			blk[j] = xs[j%q][i*p+j/q]
+		}
+		blocks[i] = blk
+	}
+
+	// First layer: give each block the step property with the base
+	// counting network C(p,q).
+	for i := 0; i < r; i++ {
+		blocks[i] = cfg.Base(b, blocks[i], p, q, label+"/S.base")
+	}
+	if r == 1 {
+		// A single block: the base network already produced the step
+		// property over the whole output.
+		return blocks[0]
+	}
+
+	switch cfg.Staircase {
+	case StaircaseOptBase, StaircaseOptBitonic:
+		// Section 4.3.1: a layer ell of 2-balancers connects the lower
+		// half of each block with the upper half of the cyclically next
+		// block: element pq-1-j of A_i with element j of A_{i+1 mod r},
+		// first output (north) to the A_i side. Afterwards the
+		// discrepancy is confined to a single block as a bitonic
+		// sequence (Proposition 4).
+		s := (p * q) / 2
+		for i := 0; i < r; i++ {
+			up := blocks[i]         // block A_i: lower half participates
+			down := blocks[(i+1)%r] // block A_{i+1 mod r}: upper half participates
+			for j := 0; j < s; j++ {
+				// North (the balancer's first output) is the element in the
+				// lower-indexed block: A_i for interior boundaries, A_0 for
+				// the cyclic wrap boundary between A_{r-1} and A_0.
+				if i == r-1 {
+					b.Add([]int{down[j], up[p*q-1-j]}, label+"/S.ell")
+				} else {
+					b.Add([]int{up[p*q-1-j], down[j]}, label+"/S.ell")
+				}
+			}
+		}
+		// Final layer: fix the bitonic discrepancy in every block.
+		for i := 0; i < r; i++ {
+			if cfg.Staircase == StaircaseOptBase {
+				blocks[i] = cfg.Base(b, blocks[i], p, q, label+"/S.fin")
+			} else {
+				blocks[i] = bitonicConverter(b, p, blocks[i], label+"/S.D")
+			}
+		}
+
+	case StaircaseBasic, StaircaseBasicSub:
+		// Section 4.3: merge adjacent blocks with two-mergers T(p,q,q),
+		// odd-even-transposition style over blocks, wrapping cyclically.
+		sub := cfg.Staircase == StaircaseBasicSub
+		mergePair := func(upper, lower int) {
+			// The cyclic wrap pair is (A_{r-1}, A_0); globally A_0 is the
+			// top block, so it takes the excess.
+			if upper > lower {
+				upper, lower = lower, upper
+			}
+			out := twoMerger(b, p, blocks[upper], blocks[lower], sub, label+"/S.T")
+			blocks[upper] = out[:p*q]
+			blocks[lower] = out[p*q:]
+		}
+		// First layer: (A_0,A_1), (A_2,A_3), ...
+		for i := 0; 2*i+1 < r; i++ {
+			mergePair(2*i, 2*i+1)
+		}
+		// Second layer: (A_1,A_2), (A_3,A_4), ..., wrapping to A_0 when
+		// r is even.
+		for i := 0; 2*i+1 < r; i++ {
+			if u, l := 2*i+1, (2*i+2)%r; u != l {
+				mergePair(u, l)
+			}
+		}
+		// Third layer for odd r: the wrap pair (A_{r-1}, A_0).
+		if r%2 == 1 && r > 1 {
+			mergePair(r-1, 0)
+		}
+
+	default:
+		panic(fmt.Sprintf("core: unknown staircase kind %v", cfg.Staircase))
+	}
+
+	out := make([]int, 0, r*p*q)
+	for i := 0; i < r; i++ {
+		out = append(out, blocks[i]...)
+	}
+	return out
+}
+
+// StaircaseNetwork builds a standalone S(r,p,q) under cfg. Input
+// sequence X_i occupies the contiguous wires [i*r*p, (i+1)*r*p).
+func StaircaseNetwork(cfg Config, r, p, q int) (*network.Network, error) {
+	if r < 1 || p < 1 || q < 1 {
+		return nil, fmt.Errorf("core: invalid staircase S(%d,%d,%d)", r, p, q)
+	}
+	if cfg.Base == nil {
+		return nil, fmt.Errorf("core: config without base network")
+	}
+	width := r * p * q
+	b := network.NewBuilder(width)
+	xs := make([][]int, q)
+	for i := 0; i < q; i++ {
+		xs[i] = network.Identity(width)[i*r*p : (i+1)*r*p]
+	}
+	name := fmt.Sprintf("S(%d,%d,%d)", r, p, q)
+	out := staircase(b, r, p, q, xs, cfg, name)
+	return b.Build(name, out), nil
+}

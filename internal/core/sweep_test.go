@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"countnet/internal/factor"
+	"countnet/internal/verify"
+)
+
+// TestFormulaSweepAllFactorizations drives Propositions 6 and Theorem 7
+// across EVERY multiset factorization of a set of widths — several
+// hundred networks — checking depth formulas, balancer-width bounds and
+// the gate-count recurrence on each.
+func TestFormulaSweepAllFactorizations(t *testing.T) {
+	widths := []int{8, 12, 16, 24, 30, 36}
+	if !testing.Short() {
+		widths = append(widths, 48, 60, 64, 72, 96)
+	}
+	networks := 0
+	for _, w := range widths {
+		for _, fs := range factor.Factorizations(w, 2) {
+			n := len(fs)
+			k, err := K(fs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k.Depth() != KDepth(n) {
+				t.Errorf("K%v depth %d != formula %d", fs, k.Depth(), KDepth(n))
+			}
+			if k.Size() != KGateCount(fs) {
+				t.Errorf("K%v gates %d != recurrence %d", fs, k.Size(), KGateCount(fs))
+			}
+			if err := verify.CheckBalancerWidth(k, MaxPairProduct(fs)); err != nil {
+				t.Errorf("K%v: %v", fs, err)
+			}
+
+			l, err := L(fs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if l.Depth() > LDepthBound(n) {
+				t.Errorf("L%v depth %d > bound %d", fs, l.Depth(), LDepthBound(n))
+			}
+			if l.Size() != LGateCount(fs) {
+				t.Errorf("L%v gates %d != recurrence %d", fs, l.Size(), LGateCount(fs))
+			}
+			if err := verify.CheckBalancerWidth(l, MaxFactor(fs)); err != nil {
+				t.Errorf("L%v: %v", fs, err)
+			}
+			if err := k.Validate(); err != nil {
+				t.Errorf("K%v: %v", fs, err)
+			}
+			if err := l.Validate(); err != nil {
+				t.Errorf("L%v: %v", fs, err)
+			}
+			networks += 2
+		}
+	}
+	t.Logf("swept %d networks", networks)
+}
+
+// TestOrderingSweepDepthInvariance: for several multisets, every
+// ordering yields the same K depth and formula-conforming L depth.
+func TestOrderingSweepDepthInvariance(t *testing.T) {
+	for _, multiset := range [][]int{{2, 3, 4}, {2, 2, 5}, {3, 3, 2, 2}} {
+		var kDepth = -1
+		for _, ord := range factor.Permutations(multiset) {
+			k, err := K(ord...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if kDepth == -1 {
+				kDepth = k.Depth()
+			} else if k.Depth() != kDepth {
+				t.Errorf("K%v depth %d != %d", ord, k.Depth(), kDepth)
+			}
+			l, err := L(ord...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if l.Depth() > LDepthBound(len(ord)) {
+				t.Errorf("L%v depth %d > bound", ord, l.Depth())
+			}
+		}
+	}
+}

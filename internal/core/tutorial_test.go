@@ -1,0 +1,130 @@
+package core
+
+// This file is a narrative walk through Section 4 of the paper, bottom
+// up, asserting at each stage exactly the property the next stage
+// consumes. It doubles as executable documentation: read it next to
+// docs/ALGORITHMS.md.
+
+import (
+	"testing"
+
+	"countnet/internal/runner"
+	"countnet/internal/seq"
+)
+
+// Stage 1 (§4.4). A two-merger T(p,q0,q1) turns two step sequences
+// into one. Its precondition is weak (any two step sequences, any
+// levels) which is why every later stage can lean on it.
+func TestTutorialStage1TwoMerger(t *testing.T) {
+	net, err := TwoMergerNetwork(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two step sequences at different levels: (3,3,2,2) and (9,8).
+	in := append(seq.MakeStep(4, 10), seq.MakeStep(2, 17)...)
+	out := runner.ApplyTokens(net, in)
+	if !seq.IsStep(out) {
+		t.Fatalf("merged output %v", out)
+	}
+	if seq.Sum(out) != 27 {
+		t.Fatalf("token loss: %v", out)
+	}
+}
+
+// Stage 2 (§4.4). The bitonic-converter D(p,q) repairs a sequence that
+// is 1-smooth with at most two transitions — the exact damage pattern
+// the optimized staircase's 2-balancer layer leaves behind.
+func TestTutorialStage2BitonicConverter(t *testing.T) {
+	net, err := BitonicConverterNetwork(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// hi-lo-hi: 5 5 4 4 5 5 (two transitions, 1-smooth).
+	in := []int64{5, 5, 4, 4, 5, 5}
+	if !seq.IsBitonic(in) {
+		t.Fatal("test input is not bitonic")
+	}
+	out := runner.ApplyTokens(net, in)
+	if !seq.IsStep(out) {
+		t.Fatalf("converted output %v", out)
+	}
+}
+
+// Stage 3 (§4.3). The staircase-merger S(r,p,q) merges q step columns
+// whose totals lie within p of each other. Its internals are exactly
+// stages 1-2 plus a base network per block.
+func TestTutorialStage3Staircase(t *testing.T) {
+	net, err := StaircaseNetwork(KConfig(), 3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two columns of length 6 whose sums differ by at most p=2:
+	// sums 8 and 7.
+	in := append(seq.MakeStep(6, 8), seq.MakeStep(6, 7)...)
+	out := runner.ApplyTokens(net, in)
+	if !seq.IsStep(out) {
+		t.Fatalf("staircase output %v", out)
+	}
+}
+
+// Stage 4 (§4.2, Proposition 2). The merger M splits its inputs into
+// strides; the sub-merger outputs then satisfy the staircase
+// precondition automatically — that is the theorem making stage 3
+// composable.
+func TestTutorialStage4StridesMakeStaircases(t *testing.T) {
+	// Any two step sequences of length 6, strided by 3, give stride
+	// sums within 2 (= number of inputs) of each other.
+	x0 := seq.MakeStep(6, 11)
+	x1 := seq.MakeStep(6, 7)
+	for i := 0; i < 3; i++ {
+		yi := seq.Sum(seq.Stride(x0, i, 3)) + seq.Sum(seq.Stride(x1, i, 3))
+		for j := i + 1; j < 3; j++ {
+			yj := seq.Sum(seq.Stride(x0, j, 3)) + seq.Sum(seq.Stride(x1, j, 3))
+			if d := yi - yj; d < 0 || d > 2 {
+				t.Fatalf("stride sums %d vs %d violate the staircase bound", yi, yj)
+			}
+		}
+	}
+}
+
+// Stage 5 (§4.1). The counting network C: independent sub-counters per
+// block, then one merger. With the base and staircase from the stages
+// above, any input becomes step.
+func TestTutorialStage5Counting(t *testing.T) {
+	net, err := New(KConfig(), 2, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]int64, net.Width())
+	in[0], in[5], in[7] = 19, 3, 8 // arbitrary lopsided arrival
+	out := runner.ApplyTokens(net, in)
+	if !seq.IsStep(out) {
+		t.Fatalf("counting output %v", out)
+	}
+	// And by the isomorphism, the same network sorts.
+	vals := []int64{5, 2, 8, 1, 9, 3, 7, 4, 6, 0, 11, 10}
+	sorted := runner.ApplyComparators(net, vals)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1] < sorted[i] {
+			t.Fatalf("not sorted: %v", sorted)
+		}
+	}
+}
+
+// Stage 6 (§5). The two instantiations: K spends wide balancers for
+// exactly-known small depth; R bootstraps narrow balancers into
+// constant depth, and L composes R into arbitrary widths.
+func TestTutorialStage6Families(t *testing.T) {
+	k, _ := K(2, 3, 2)
+	if k.MaxGateWidth() != 6 || k.Depth() != 5 {
+		t.Errorf("K(2,3,2): gate %d depth %d, want 6 and 5", k.MaxGateWidth(), k.Depth())
+	}
+	l, _ := L(2, 3, 2)
+	if l.MaxGateWidth() > 3 {
+		t.Errorf("L(2,3,2): gate %d, want <= 3", l.MaxGateWidth())
+	}
+	r, _ := R(11, 13)
+	if r.Depth() > 16 || r.MaxGateWidth() > 13 {
+		t.Errorf("R(11,13): depth %d gate %d", r.Depth(), r.MaxGateWidth())
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+
+	"countnet/internal/runner"
+	"countnet/internal/seq"
+)
+
+// TestTwoMergerExhaustive checks Proposition 5 exhaustively: for every
+// pair of step input sequences (a step sequence of given length is
+// determined by its sum, so sums enumerate all inputs), the output of
+// T(p,q0,q1) has the step property. Sums range far enough to cover all
+// level combinations (a0 vs a1 arbitrary).
+func TestTwoMergerExhaustive(t *testing.T) {
+	for p := 1; p <= 4; p++ {
+		for q0 := 1; q0 <= 3; q0++ {
+			for q1 := 1; q1 <= 3; q1++ {
+				net, err := TwoMergerNetwork(p, q0, q1)
+				if err != nil {
+					t.Fatalf("T(%d,%d,%d): %v", p, q0, q1, err)
+				}
+				if err := net.Validate(); err != nil {
+					t.Fatalf("T(%d,%d,%d) invalid: %v", p, q0, q1, err)
+				}
+				if net.Depth() > 2 {
+					t.Errorf("T(%d,%d,%d) depth %d > 2", p, q0, q1, net.Depth())
+				}
+				l0, l1 := p*q0, p*q1
+				for s0 := int64(0); s0 <= int64(4*l0); s0++ {
+					for s1 := int64(0); s1 <= int64(4*l1); s1++ {
+						in := append(seq.MakeStep(l0, s0), seq.MakeStep(l1, s1)...)
+						out := runner.ApplyTokens(net, in)
+						if !seq.IsStep(out) {
+							t.Fatalf("T(%d,%d,%d) on sums (%d,%d): output %v not step",
+								p, q0, q1, s0, s1, out)
+						}
+						if seq.Sum(out) != s0+s1 {
+							t.Fatalf("T(%d,%d,%d): token loss", p, q0, q1)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTwoMergerGateWidths verifies the structural claim: balancers of
+// width q0+q1 (rows) and p (columns) only.
+func TestTwoMergerGateWidths(t *testing.T) {
+	net, err := TwoMergerNetwork(3, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := net.GateWidthHistogram()
+	if hist[6] != 3 { // 3 rows of width q0+q1=6
+		t.Errorf("row balancers: %v", hist)
+	}
+	if hist[3] != 6 { // 6 columns of width p=3
+		t.Errorf("column balancers: %v", hist)
+	}
+	if net.Size() != 9 {
+		t.Errorf("gate count %d, want 9", net.Size())
+	}
+}
+
+// TestTwoMergerDegenerate checks the edge cases the R construction
+// relies on: empty sides pass through, p == 1 is a single balancer row.
+func TestTwoMergerDegenerate(t *testing.T) {
+	n, err := TwoMergerNetwork(2, 0, 3)
+	if err != nil {
+		t.Fatalf("T(2,0,3): %v", err)
+	}
+	if n.Size() != 0 {
+		t.Errorf("empty first input should add no gates, got %d", n.Size())
+	}
+	n, err = TwoMergerNetwork(1, 2, 2)
+	if err != nil {
+		t.Fatalf("T(1,2,2): %v", err)
+	}
+	if n.Depth() != 1 || n.MaxGateWidth() != 4 {
+		t.Errorf("T(1,2,2): depth %d maxGate %d, want single width-4 layer", n.Depth(), n.MaxGateWidth())
+	}
+	for s0 := int64(0); s0 <= 8; s0++ {
+		for s1 := int64(0); s1 <= 8; s1++ {
+			in := append(seq.MakeStep(2, s0), seq.MakeStep(2, s1)...)
+			out := runner.ApplyTokens(n, in)
+			if !seq.IsStep(out) {
+				t.Fatalf("T(1,2,2) on (%d,%d): %v", s0, s1, out)
+			}
+		}
+	}
+	if _, err := TwoMergerNetwork(0, 1, 1); err == nil {
+		t.Error("T(0,1,1) should be rejected")
+	}
+	if _, err := TwoMergerNetwork(2, 0, 0); err == nil {
+		t.Error("T(2,0,0) should be rejected")
+	}
+}
+
+// TestTwoMergerSubstitutedRows checks the Section 4.3 substitution: a
+// T(p,q,q) whose 2q-wide row balancers are replaced by T(q,1,1)
+// networks must still merge, using only balancers of width <= max(p,q,2).
+func TestTwoMergerSubstitutedRows(t *testing.T) {
+	for p := 2; p <= 3; p++ {
+		for q := 2; q <= 3; q++ {
+			b := newTestBuilder(p * 2 * q)
+			all := identity(p * 2 * q)
+			out := twoMerger(b, p, all[:p*q], all[p*q:], true, "sub")
+			net := b.Build("Tsub", out)
+			if err := net.Validate(); err != nil {
+				t.Fatalf("T-sub(%d,%d,%d): %v", p, q, q, err)
+			}
+			maxW := p
+			if q > maxW {
+				maxW = q
+			}
+			if maxW < 2 {
+				maxW = 2
+			}
+			if net.MaxGateWidth() > maxW {
+				t.Errorf("T-sub(%d,%d,%d): gate width %d > %d", p, q, q, net.MaxGateWidth(), maxW)
+			}
+			for s0 := int64(0); s0 <= int64(3*p*q); s0++ {
+				for s1 := int64(0); s1 <= int64(3*p*q); s1++ {
+					in := append(seq.MakeStep(p*q, s0), seq.MakeStep(p*q, s1)...)
+					got := runner.ApplyTokens(net, in)
+					if !seq.IsStep(got) {
+						t.Fatalf("T-sub(%d,%d,%d) on sums (%d,%d): %v", p, q, q, s0, s1, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTwoMergerAsSorter checks the comparator-semantics side of the
+// isomorphism on the merger: two descending batches merge into one.
+func TestTwoMergerAsSorter(t *testing.T) {
+	net, err := TwoMergerNetwork(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []int64{9, 7, 4, 2, 8, 6, 5, 1} // two descending runs
+	out := runner.ApplyComparators(net, in)
+	for i := 1; i < len(out); i++ {
+		if out[i-1] < out[i] {
+			t.Fatalf("merged output not descending: %v", out)
+		}
+	}
+}

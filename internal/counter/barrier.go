@@ -1,0 +1,52 @@
+package counter
+
+import "sync"
+
+// Barrier is a reusable n-party synchronization barrier driven by a
+// Fetch&Increment counter — the classic barrier construction counting
+// networks were proposed for: arrivals take a ticket; the n-th arrival
+// of each generation releases everyone in it. With a NetworkCounter
+// underneath, ticket contention spreads over the network's balancers.
+type Barrier struct {
+	n   int64
+	ctr Counter
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	done int64 // highest fully-released generation boundary (in tickets)
+}
+
+// NewBarrier builds a barrier for n parties over the given counter
+// (which must start at 0 and be used by nothing else).
+func NewBarrier(n int, ctr Counter) *Barrier {
+	if n < 1 {
+		panic("counter: barrier size < 1")
+	}
+	b := &Barrier{n: int64(n), ctr: ctr}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Await blocks until n parties (including the caller) have arrived in
+// the caller's generation, and returns the caller's generation number
+// (0-based). Reusable across generations.
+func (b *Barrier) Await() int64 {
+	t := b.ctr.Next()
+	gen := t / b.n
+	boundary := (gen + 1) * b.n
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t == boundary-1 {
+		// Last arrival of this generation: release it (and any earlier
+		// stragglers still waking up).
+		if boundary > b.done {
+			b.done = boundary
+		}
+		b.cond.Broadcast()
+		return gen
+	}
+	for b.done < boundary {
+		b.cond.Wait()
+	}
+	return gen
+}

@@ -1,0 +1,93 @@
+package counter
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"countnet/internal/core"
+)
+
+func barrierCounter(t *testing.T) Counter {
+	t.Helper()
+	n, err := core.L(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewNetworkCounter(n, false)
+}
+
+// TestBarrierPhases: no party enters phase k+1 before every party
+// finished phase k — the barrier contract — across many generations.
+func TestBarrierPhases(t *testing.T) {
+	const parties, generations = 6, 40
+	b := NewBarrier(parties, barrierCounter(t))
+	var phaseCount [generations]atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < parties; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for g := 0; g < generations; g++ {
+				phaseCount[g].Add(1)
+				gen := b.Await()
+				if gen != int64(g) {
+					t.Errorf("party saw generation %d in phase %d", gen, g)
+					return
+				}
+				// After the barrier, every party must have entered
+				// this phase.
+				if got := phaseCount[g].Load(); got != parties {
+					t.Errorf("phase %d released with %d/%d arrivals", g, got, parties)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestBarrierBlocksUntilFull: early arrivals park.
+func TestBarrierBlocksUntilFull(t *testing.T) {
+	b := NewBarrier(3, NewAtomicCounter())
+	released := make(chan int64, 3)
+	for i := 0; i < 2; i++ {
+		go func() { released <- b.Await() }()
+	}
+	select {
+	case g := <-released:
+		t.Fatalf("released generation %d with 2/3 arrivals", g)
+	case <-time.After(20 * time.Millisecond):
+	}
+	go func() { released <- b.Await() }()
+	for i := 0; i < 3; i++ {
+		select {
+		case g := <-released:
+			if g != 0 {
+				t.Fatalf("generation %d, want 0", g)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("barrier never released")
+		}
+	}
+}
+
+// TestBarrierSingleParty: degenerate n=1 never blocks.
+func TestBarrierSingleParty(t *testing.T) {
+	b := NewBarrier(1, NewAtomicCounter())
+	for g := int64(0); g < 5; g++ {
+		if got := b.Await(); got != g {
+			t.Fatalf("generation %d, want %d", got, g)
+		}
+	}
+}
+
+func TestBarrierRejectsBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBarrier(0, NewAtomicCounter())
+}

@@ -1,0 +1,144 @@
+// Package counter implements concurrent Fetch&Increment counters, the
+// application domain of counting networks: a width-w counting network
+// with a local counter on each output wire yields a low-contention
+// shared counter. A token traverses the network, exits on output
+// position i having previously seen k tokens exit there, and is
+// assigned the value k*w + i; in any quiescent state the issued values
+// are exactly 0..N-1.
+//
+// The package also provides centralized baselines (a single atomic
+// fetch-and-add and a mutex-protected counter) used by the E9
+// experiment to reproduce the shape of the shared-memory measurements
+// of Felten, LaMarca & Ladner, which the paper cites as evidence that
+// intermediate balancer widths perform best.
+package counter
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"countnet/internal/network"
+	"countnet/internal/runner"
+)
+
+// Counter issues distinct non-negative values. Implementations are safe
+// for concurrent use; NetworkCounter additionally guarantees that after
+// the network quiesces the issued values are gap-free.
+type Counter interface {
+	// Next returns the next value.
+	Next() int64
+}
+
+// Handled is implemented by counters that benefit from per-goroutine
+// handles (to avoid a shared entry-dispatch hotspot). Generic code can
+// fall back to the counter itself, which must also implement Counter.
+type Handled interface {
+	Counter
+	// Handle returns a Counter view for a single goroutine. Handles
+	// must not be shared between goroutines.
+	Handle(id int) Counter
+}
+
+type padded struct {
+	_ [64]byte
+	v atomic.Int64
+}
+
+// NetworkCounter is a Fetch&Increment counter built on a counting
+// network.
+type NetworkCounter struct {
+	async  *runner.Async
+	width  int
+	useMu  bool
+	entry  atomic.Int64
+	locals []padded
+}
+
+// NewNetworkCounter builds a counter over the given counting network.
+// If mutexBalancers is true, tokens traverse lock-based balancers
+// instead of fetch-and-add balancers.
+func NewNetworkCounter(net *network.Network, mutexBalancers bool) *NetworkCounter {
+	return &NetworkCounter{
+		async:  runner.Compile(net),
+		width:  net.Width(),
+		useMu:  mutexBalancers,
+		locals: make([]padded, net.Width()),
+	}
+}
+
+// Width returns the width of the underlying network.
+func (c *NetworkCounter) Width() int { return c.width }
+
+// Next issues a value, dispatching the entry wire from a shared
+// round-robin counter. Prefer Handle in tight concurrent loops: the
+// shared dispatcher is itself a contention point that handles avoid.
+func (c *NetworkCounter) Next() int64 {
+	wire := int((c.entry.Add(1) - 1) % int64(c.width))
+	return c.nextOn(wire)
+}
+
+func (c *NetworkCounter) nextOn(wire int) int64 {
+	var pos int
+	if c.useMu {
+		pos = c.async.TraverseMutex(wire)
+	} else {
+		pos = c.async.Traverse(wire)
+	}
+	k := c.locals[pos].v.Add(1) - 1
+	return k*int64(c.width) + int64(pos)
+}
+
+// Handle returns a goroutine-local view whose entry wires cycle
+// privately, starting at an offset derived from id. The counting
+// property holds for any distribution of tokens over input wires, so
+// private cycling is safe.
+func (c *NetworkCounter) Handle(id int) Counter {
+	if id < 0 {
+		id = -id
+	}
+	return &handle{c: c, pos: id % c.width}
+}
+
+type handle struct {
+	c   *NetworkCounter
+	pos int
+}
+
+func (h *handle) Next() int64 {
+	wire := h.pos
+	h.pos++
+	if h.pos == h.c.width {
+		h.pos = 0
+	}
+	return h.c.nextOn(wire)
+}
+
+// AtomicCounter is the centralized baseline: one fetch-and-add word.
+type AtomicCounter struct {
+	_ [64]byte
+	v atomic.Int64
+}
+
+// NewAtomicCounter returns a zeroed atomic counter.
+func NewAtomicCounter() *AtomicCounter { return &AtomicCounter{} }
+
+// Next returns the next value.
+func (c *AtomicCounter) Next() int64 { return c.v.Add(1) - 1 }
+
+// MutexCounter is the lock-based centralized baseline.
+type MutexCounter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// NewMutexCounter returns a zeroed mutex counter.
+func NewMutexCounter() *MutexCounter { return &MutexCounter{} }
+
+// Next returns the next value.
+func (c *MutexCounter) Next() int64 {
+	c.mu.Lock()
+	v := c.v
+	c.v++
+	c.mu.Unlock()
+	return v
+}

@@ -1,0 +1,163 @@
+// Package factor enumerates the factorizations that parameterize the
+// paper's network family: a width w admits one network per (multiset)
+// factorization w = p0 * ... * pn-1 with every pi >= 2. Coarser
+// factorizations trade wider balancers for smaller depth; finer ones
+// the opposite (paper Sections 1 and 6).
+package factor
+
+import "sort"
+
+// PrimeFactors returns the prime factorization of w >= 2 in
+// non-decreasing order.
+func PrimeFactors(w int) []int {
+	if w < 2 {
+		return nil
+	}
+	var out []int
+	for w%2 == 0 {
+		out = append(out, 2)
+		w /= 2
+	}
+	for d := 3; d*d <= w; d += 2 {
+		for w%d == 0 {
+			out = append(out, d)
+			w /= d
+		}
+	}
+	if w > 1 {
+		out = append(out, w)
+	}
+	return out
+}
+
+// Factorizations returns every multiset factorization of w into factors
+// >= minFactor, each factorization in non-increasing order, including
+// the trivial factorization {w}. Factorizations are ordered by length
+// then lexicographically, deterministic for a given w.
+func Factorizations(w, minFactor int) [][]int {
+	if minFactor < 2 {
+		minFactor = 2
+	}
+	if w < minFactor {
+		return nil
+	}
+	var out [][]int
+	var cur []int
+	var rec func(rem, maxF int)
+	rec = func(rem, maxF int) {
+		if rem == 1 {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for f := min(maxF, rem); f >= minFactor; f-- {
+			if rem%f == 0 {
+				cur = append(cur, f)
+				rec(rem/f, f)
+				cur = cur[:len(cur)-1]
+			}
+		}
+	}
+	rec(w, w)
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] > out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Balanced returns, for a width w and a requested number of factors n,
+// a factorization of w into at most n factors that minimizes the
+// maximum factor: the prime factors of w greedily combined into n
+// buckets (smallest product first). If w has fewer than n prime
+// factors, the prime factorization itself is returned.
+func Balanced(w, n int) []int {
+	primes := PrimeFactors(w)
+	if len(primes) <= n {
+		out := append([]int(nil), primes...)
+		sort.Sort(sort.Reverse(sort.IntSlice(out)))
+		return out
+	}
+	buckets := make([]int, n)
+	for i := range buckets {
+		buckets[i] = 1
+	}
+	// Largest primes first into the currently smallest bucket.
+	for i := len(primes) - 1; i >= 0; i-- {
+		mi := 0
+		for j := 1; j < n; j++ {
+			if buckets[j] < buckets[mi] {
+				mi = j
+			}
+		}
+		buckets[mi] *= primes[i]
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(buckets)))
+	return buckets
+}
+
+// Permutations returns all distinct orderings of the multiset fs.
+// The paper notes each ordering yields a different network of equal
+// formula depth; the E-suite uses this to measure how orderings differ
+// in gate count.
+func Permutations(fs []int) [][]int {
+	sorted := append([]int(nil), fs...)
+	sort.Ints(sorted)
+	var out [][]int
+	used := make([]bool, len(sorted))
+	cur := make([]int, 0, len(sorted))
+	var rec func()
+	rec = func() {
+		if len(cur) == len(sorted) {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		prev := -1
+		for i, v := range sorted {
+			if used[i] || v == prev {
+				continue
+			}
+			prev = v
+			used[i] = true
+			cur = append(cur, v)
+			rec()
+			cur = cur[:len(cur)-1]
+			used[i] = false
+		}
+	}
+	rec()
+	return out
+}
+
+// BestOrdering returns the ordering of the multiset fs minimizing
+// metric (ties broken by enumeration order, which is deterministic).
+// The paper observes all orderings share the same depth formula, but
+// gate counts — and therefore hardware or memory cost — differ; this
+// picks the cheapest.
+func BestOrdering(fs []int, metric func([]int) int) []int {
+	perms := Permutations(fs)
+	if len(perms) == 0 {
+		return nil
+	}
+	best := perms[0]
+	bestM := metric(best)
+	for _, p := range perms[1:] {
+		if m := metric(p); m < bestM {
+			best, bestM = p, m
+		}
+	}
+	return best
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,200 @@
+package factor
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimeFactors(t *testing.T) {
+	cases := []struct {
+		w    int
+		want []int
+	}{
+		{2, []int{2}},
+		{12, []int{2, 2, 3}},
+		{30, []int{2, 3, 5}},
+		{97, []int{97}},
+		{1024, []int{2, 2, 2, 2, 2, 2, 2, 2, 2, 2}},
+		{1, nil},
+		{0, nil},
+	}
+	for _, c := range cases {
+		if got := PrimeFactors(c.w); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("PrimeFactors(%d) = %v, want %v", c.w, got, c.want)
+		}
+	}
+}
+
+func TestPrimeFactorsProductProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		w := int(raw%5000) + 2
+		prod := 1
+		for _, p := range PrimeFactors(w) {
+			prod *= p
+		}
+		return prod == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFactorizationsKnownCounts(t *testing.T) {
+	// Multiplicative partition counts: 12 -> {12},{6,2},{4,3},{3,2,2}: 4.
+	cases := []struct {
+		w    int
+		want int
+	}{
+		{2, 1}, {4, 2}, {6, 2}, {8, 3}, {12, 4}, {16, 5}, {24, 7}, {30, 5}, {36, 9},
+	}
+	for _, c := range cases {
+		got := Factorizations(c.w, 2)
+		if len(got) != c.want {
+			t.Errorf("Factorizations(%d) has %d entries, want %d: %v", c.w, len(got), c.want, got)
+		}
+	}
+}
+
+func TestFactorizationsInvariants(t *testing.T) {
+	for _, w := range []int{2, 12, 30, 60, 64, 100} {
+		fss := Factorizations(w, 2)
+		seen := map[string]bool{}
+		for _, fs := range fss {
+			prod := 1
+			for i, f := range fs {
+				if f < 2 {
+					t.Fatalf("w=%d: factor %d < 2 in %v", w, f, fs)
+				}
+				if i > 0 && fs[i-1] < f {
+					t.Fatalf("w=%d: %v not non-increasing", w, fs)
+				}
+				prod *= f
+			}
+			if prod != w {
+				t.Fatalf("w=%d: %v multiplies to %d", w, fs, prod)
+			}
+			key := ""
+			for _, f := range fs {
+				key += ":" + string(rune(f))
+			}
+			if seen[key] {
+				t.Fatalf("w=%d: duplicate factorization %v", w, fs)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestFactorizationsMinFactor(t *testing.T) {
+	fss := Factorizations(24, 3)
+	for _, fs := range fss {
+		for _, f := range fs {
+			if f < 3 {
+				t.Errorf("minFactor=3 violated in %v", fs)
+			}
+		}
+	}
+	// 24 with factors >= 3: {24}, {8,3}, {6,4}: 3 entries.
+	if len(fss) != 3 {
+		t.Errorf("Factorizations(24,3) = %v", fss)
+	}
+	if Factorizations(1, 2) != nil {
+		t.Error("Factorizations(1) should be empty")
+	}
+}
+
+func TestBalanced(t *testing.T) {
+	cases := []struct {
+		w, n int
+		want []int
+	}{
+		{30, 3, []int{5, 3, 2}},
+		{30, 2, []int{6, 5}},
+		{64, 3, []int{4, 4, 4}},
+		{64, 2, []int{8, 8}},
+		{7, 3, []int{7}},
+		{12, 4, []int{3, 2, 2}}, // fewer primes than n: prime factorization
+	}
+	for _, c := range cases {
+		got := Balanced(c.w, c.n)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Balanced(%d,%d) = %v, want %v", c.w, c.n, got, c.want)
+		}
+		prod := 1
+		for _, f := range got {
+			prod *= f
+		}
+		if prod != c.w {
+			t.Errorf("Balanced(%d,%d) product %d", c.w, c.n, prod)
+		}
+	}
+}
+
+func TestBalancedMinimizesSpread(t *testing.T) {
+	// For 2^k into n buckets the greedy split is provably balanced.
+	got := Balanced(1<<10, 5)
+	if len(got) != 5 {
+		t.Fatalf("Balanced(1024,5) = %v", got)
+	}
+	if got[0] != 4 {
+		t.Errorf("Balanced(1024,5) max factor %d, want 4", got[0])
+	}
+}
+
+func TestPermutations(t *testing.T) {
+	perms := Permutations([]int{2, 3, 5})
+	if len(perms) != 6 {
+		t.Errorf("3 distinct factors: %d perms, want 6", len(perms))
+	}
+	perms = Permutations([]int{2, 2, 3})
+	if len(perms) != 3 {
+		t.Errorf("multiset {2,2,3}: %d perms, want 3", len(perms))
+	}
+	seen := map[string]bool{}
+	for _, p := range perms {
+		key := ""
+		for _, f := range p {
+			key += ":" + string(rune('0'+f))
+		}
+		if seen[key] {
+			t.Errorf("duplicate permutation %v", p)
+		}
+		seen[key] = true
+		s := append([]int(nil), p...)
+		sort.Ints(s)
+		if !reflect.DeepEqual(s, []int{2, 2, 3}) {
+			t.Errorf("permutation %v is not of the multiset", p)
+		}
+	}
+	if got := Permutations(nil); len(got) != 1 || len(got[0]) != 0 {
+		t.Errorf("Permutations(nil) = %v, want one empty ordering", got)
+	}
+}
+
+func TestBestOrdering(t *testing.T) {
+	// Metric: prefer the ordering whose first element is largest.
+	got := BestOrdering([]int{2, 3, 5}, func(ord []int) int { return -ord[0] })
+	if got[0] != 5 {
+		t.Errorf("BestOrdering = %v, want 5 first", got)
+	}
+	// Product invariance.
+	prod := 1
+	for _, f := range got {
+		prod *= f
+	}
+	if prod != 30 {
+		t.Errorf("BestOrdering changed the multiset: %v", got)
+	}
+	if BestOrdering(nil, func([]int) int { return 0 }) != nil {
+		// Permutations(nil) yields one empty ordering, BestOrdering
+		// returns it; both nil and empty are acceptable here.
+		t.Log("BestOrdering(nil) returned a non-nil empty slice")
+	}
+	calls := 0
+	BestOrdering([]int{2, 2, 3}, func([]int) int { calls++; return calls })
+	if calls != 3 {
+		t.Errorf("metric called %d times, want once per distinct ordering (3)", calls)
+	}
+}

@@ -1,0 +1,41 @@
+package network
+
+import "fmt"
+
+// Concat sequentially composes networks of equal width: the output
+// sequence of each network feeds the input sequence of the next
+// (position i of stage k's output becomes input position i of stage
+// k+1). Output orders are honored as pure rewiring, so composition is
+// exact even when stages permute their outputs.
+//
+// Composition is how the periodic counting network is defined (k
+// identical blocks), and appending any counting network to an arbitrary
+// balancing network yields a counting network — both facts are used as
+// tests.
+func Concat(name string, nets ...*Network) (*Network, error) {
+	if len(nets) == 0 {
+		return nil, fmt.Errorf("network: concat of nothing")
+	}
+	w := nets[0].WireCount
+	b := NewBuilder(w)
+	cur := Identity(w) // sequence position -> physical wire
+	for k, n := range nets {
+		if n.WireCount != w {
+			return nil, fmt.Errorf("network: concat stage %d has width %d, want %d", k, n.WireCount, w)
+		}
+		for gi := range n.Gates {
+			g := &n.Gates[gi]
+			wires := make([]int, len(g.Wires))
+			for i, x := range g.Wires {
+				wires[i] = cur[x]
+			}
+			b.Add(wires, g.Label)
+		}
+		next := make([]int, w)
+		for i, x := range n.OutputOrder {
+			next[i] = cur[x]
+		}
+		cur = next
+	}
+	return b.Build(name, cur), nil
+}

@@ -1,0 +1,72 @@
+package network
+
+import (
+	"reflect"
+	"testing"
+)
+
+func gate2(b *Builder, x, y int) { b.Add([]int{x, y}, "") }
+
+func TestConcatWidthMismatch(t *testing.T) {
+	a := NewBuilder(2).Build("a", nil)
+	c := NewBuilder(3).Build("c", nil)
+	if _, err := Concat("x", a, c); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	if _, err := Concat("x"); err == nil {
+		t.Error("empty concat accepted")
+	}
+}
+
+func TestConcatAppendsGates(t *testing.T) {
+	b1 := NewBuilder(3)
+	gate2(b1, 0, 1)
+	n1 := b1.Build("n1", nil)
+	b2 := NewBuilder(3)
+	gate2(b2, 1, 2)
+	n2 := b2.Build("n2", nil)
+	cat, err := Concat("cat", n1, n2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Size() != 2 || cat.Depth() != 2 {
+		t.Errorf("cat: %d gates depth %d", cat.Size(), cat.Depth())
+	}
+	if err := cat.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcatHonorsOutputOrder(t *testing.T) {
+	// Stage one is a pure permutation (reverse); stage two gates "wires
+	// 0,1" which after the permutation are physical wires 2,1.
+	perm := NewBuilder(3).Build("rev", []int{2, 1, 0})
+	b2 := NewBuilder(3)
+	gate2(b2, 0, 1)
+	n2 := b2.Build("g01", nil)
+	cat, err := Concat("cat", perm, n2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cat.Gates[0].Wires, []int{2, 1}) {
+		t.Errorf("gate wires %v, want [2 1]", cat.Gates[0].Wires)
+	}
+	// Final output order is the composition of both permutations.
+	if !reflect.DeepEqual(cat.OutputOrder, []int{2, 1, 0}) {
+		t.Errorf("output order %v", cat.OutputOrder)
+	}
+}
+
+func TestConcatOfPermutationsComposes(t *testing.T) {
+	p1 := NewBuilder(4).Build("p1", []int{1, 2, 3, 0})
+	p2 := NewBuilder(4).Build("p2", []int{3, 2, 1, 0})
+	cat, err := Concat("pp", p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// position i <- p1.Out[p2.Out[i]]
+	want := []int{0, 3, 2, 1}
+	if !reflect.DeepEqual(cat.OutputOrder, want) {
+		t.Errorf("composed order %v, want %v", cat.OutputOrder, want)
+	}
+}

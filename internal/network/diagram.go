@@ -1,0 +1,124 @@
+package network
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Diagram renders the network in the style of the paper's figures:
+// one horizontal line per wire, gates drawn as vertical connectors
+// with a dot on each wire they touch, one column per layer (layers
+// with wire-overlapping gates get extra columns).
+//
+//	x0 ──●──────●──   y0
+//	     │      │
+//	x1 ──●───●──┼──   ...
+//	         │  │
+//	x2 ──────●──●──
+//
+// Intended for small networks (CLI inspection, documentation); width
+// grows linearly with gate count in the worst case.
+func (n *Network) Diagram() string {
+	if n.WireCount == 0 {
+		return "(empty network)\n"
+	}
+	// Assign each gate a drawing column: within a layer, gates whose
+	// wire spans overlap get distinct columns.
+	type span struct{ lo, hi int }
+	gateCol := make([]int, len(n.Gates))
+	nextCol := 0
+	for _, layerIDs := range n.Layers() {
+		used := [][]span{} // per column-offset, occupied spans
+		maxOffset := 0
+		for _, id := range layerIDs {
+			g := &n.Gates[id]
+			lo, hi := g.Wires[0], g.Wires[0]
+			for _, w := range g.Wires {
+				if w < lo {
+					lo = w
+				}
+				if w > hi {
+					hi = w
+				}
+			}
+			off := 0
+			for {
+				if off >= len(used) {
+					used = append(used, nil)
+				}
+				clash := false
+				for _, s := range used[off] {
+					if lo <= s.hi && s.lo <= hi {
+						clash = true
+						break
+					}
+				}
+				if !clash {
+					used[off] = append(used[off], span{lo, hi})
+					break
+				}
+				off++
+			}
+			gateCol[id] = nextCol + off
+			if off > maxOffset {
+				maxOffset = off
+			}
+		}
+		nextCol += maxOffset + 1
+	}
+	cols := nextCol
+
+	// Grid: each wire occupies row 2*w; row 2*w+1 is the inter-wire
+	// space for vertical connector segments. Each drawing column takes
+	// 3 characters: "─●─" / " │ ".
+	rows := 2*n.WireCount - 1
+	grid := make([][]rune, rows)
+	for r := range grid {
+		grid[r] = make([]rune, 3*cols)
+		for c := range grid[r] {
+			if r%2 == 0 {
+				grid[r][c] = '─'
+			} else {
+				grid[r][c] = ' '
+			}
+		}
+	}
+	for id := range n.Gates {
+		g := &n.Gates[id]
+		c := 3*gateCol[id] + 1
+		lo, hi := g.Wires[0], g.Wires[0]
+		for _, w := range g.Wires {
+			if w < lo {
+				lo = w
+			}
+			if w > hi {
+				hi = w
+			}
+		}
+		for r := 2 * lo; r <= 2*hi; r++ {
+			if r%2 == 1 {
+				grid[r][c] = '│'
+			} else {
+				grid[r][c] = '┼' // crossing wire by default
+			}
+		}
+		for _, w := range g.Wires {
+			grid[2*w][c] = '●'
+		}
+	}
+
+	// Output positions per wire.
+	outPos := make([]int, n.WireCount)
+	for pos, w := range n.OutputOrder {
+		outPos[w] = pos
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", n.String())
+	for w := 0; w < n.WireCount; w++ {
+		fmt.Fprintf(&sb, "x%-3d %s  y%d\n", w, string(grid[2*w]), outPos[w])
+		if w < n.WireCount-1 {
+			fmt.Fprintf(&sb, "     %s\n", string(grid[2*w+1]))
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,80 @@
+package network
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiagramBasics(t *testing.T) {
+	b := NewBuilder(3)
+	b.Add([]int{0, 1}, "")
+	b.Add([]int{1, 2}, "")
+	n := b.Build("d", nil)
+	d := n.Diagram()
+	lines := strings.Split(strings.TrimRight(d, "\n"), "\n")
+	// Header + 3 wire rows + 2 spacer rows.
+	if len(lines) != 6 {
+		t.Fatalf("line count %d:\n%s", len(lines), d)
+	}
+	if !strings.HasPrefix(lines[1], "x0") || !strings.Contains(lines[1], "y0") {
+		t.Errorf("wire row malformed: %q", lines[1])
+	}
+	if strings.Count(d, "●") != 4 {
+		t.Errorf("want 4 gate dots:\n%s", d)
+	}
+	if !strings.Contains(d, "│") {
+		t.Errorf("no vertical connector:\n%s", d)
+	}
+}
+
+func TestDiagramOverlappingGatesSameLayer(t *testing.T) {
+	// Two disjoint gates in one layer whose spans overlap: (0,2) and
+	// (1,3). They must land in different drawing columns, and the
+	// spanning connector of the first crosses wire 1 with a cross glyph.
+	b := NewBuilder(4)
+	b.Add([]int{0, 2}, "")
+	b.Add([]int{1, 3}, "")
+	n := b.Build("overlap", nil)
+	d := n.Diagram()
+	if strings.Count(d, "●") != 4 {
+		t.Errorf("want 4 dots:\n%s", d)
+	}
+	if !strings.Contains(d, "┼") {
+		t.Errorf("expected a wire-crossing glyph:\n%s", d)
+	}
+	// Same column would put two dots on one wire row position; rows for
+	// wires 0 and 1 must have their dots at different columns.
+	lines := strings.Split(d, "\n")
+	col0 := strings.IndexRune(lines[1], '●')
+	col1 := strings.IndexRune(lines[3], '●')
+	if col0 == col1 {
+		t.Errorf("overlapping gates share a drawing column:\n%s", d)
+	}
+}
+
+func TestDiagramOutputOrderLabels(t *testing.T) {
+	b := NewBuilder(2)
+	b.Add([]int{0, 1}, "")
+	n := b.Build("rev", []int{1, 0})
+	d := n.Diagram()
+	if !strings.Contains(d, "y1") || !strings.Contains(d, "y0") {
+		t.Errorf("output labels missing:\n%s", d)
+	}
+	// Wire 0 carries output position 1 under the reversed order.
+	for _, line := range strings.Split(d, "\n") {
+		if strings.HasPrefix(line, "x0") && !strings.HasSuffix(line, "y1") {
+			t.Errorf("wire 0 should be labeled y1: %q", line)
+		}
+	}
+}
+
+func TestDiagramEmpty(t *testing.T) {
+	if d := NewBuilder(0).Build("", nil).Diagram(); !strings.Contains(d, "empty") {
+		t.Errorf("empty diagram: %q", d)
+	}
+	// Gate-free non-empty network: straight wires.
+	d := NewBuilder(2).Build("wires", nil).Diagram()
+	if strings.Count(d, "●") != 0 {
+		t.Errorf("gate-free network has dots:\n%s", d)
+	}
+}

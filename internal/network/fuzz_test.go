@@ -1,0 +1,39 @@
+package network
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzJSONUnmarshal: arbitrary bytes either fail to decode or produce a
+// network that validates and survives a marshal/unmarshal round trip.
+// Run with `go test -fuzz=FuzzJSONUnmarshal ./internal/network` for a
+// real fuzzing session; the seed corpus runs under plain `go test`.
+func FuzzJSONUnmarshal(f *testing.F) {
+	f.Add([]byte(`{"width":2,"gates":[{"wires":[0,1]}]}`))
+	f.Add([]byte(`{"width":4,"gates":[{"wires":[0,1]},{"wires":[2,3]},{"wires":[1,2]}],"output_order":[3,2,1,0]}`))
+	f.Add([]byte(`{"width":0}`))
+	f.Add([]byte(`{"width":3,"gates":[{"wires":[0,1,2],"label":"x"}]}`))
+	f.Add([]byte(`garbage`))
+	f.Add([]byte(`{"width":-5}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var n Network
+		if err := json.Unmarshal(data, &n); err != nil {
+			return // rejected, fine
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("accepted network fails validation: %v", err)
+		}
+		round, err := json.Marshal(&n)
+		if err != nil {
+			t.Fatalf("marshal of accepted network: %v", err)
+		}
+		var back Network
+		if err := json.Unmarshal(round, &back); err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		if back.Depth() != n.Depth() || back.Size() != n.Size() || back.Width() != n.Width() {
+			t.Fatalf("round trip changed structure: %v vs %v", &back, &n)
+		}
+	})
+}

@@ -1,0 +1,94 @@
+package network
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func buildSample() *Network {
+	b := NewBuilder(4)
+	b.Add([]int{0, 1}, "a")
+	b.Add([]int{2, 3}, "b")
+	b.Add([]int{1, 2}, "c")
+	return b.Build("sample", []int{3, 2, 1, 0})
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	n := buildSample()
+	data, err := json.Marshal(n)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Network
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Name != n.Name || back.WireCount != n.WireCount || back.Depth() != n.Depth() {
+		t.Errorf("round trip lost metadata: %+v", back)
+	}
+	if len(back.Gates) != len(n.Gates) {
+		t.Fatalf("gate count %d, want %d", len(back.Gates), len(n.Gates))
+	}
+	for i := range n.Gates {
+		if !reflect.DeepEqual(back.Gates[i].Wires, n.Gates[i].Wires) {
+			t.Errorf("gate %d wires %v, want %v", i, back.Gates[i].Wires, n.Gates[i].Wires)
+		}
+		if back.Gates[i].Layer != n.Gates[i].Layer {
+			t.Errorf("gate %d layer %d, want %d", i, back.Gates[i].Layer, n.Gates[i].Layer)
+		}
+	}
+	if !reflect.DeepEqual(back.OutputOrder, n.OutputOrder) {
+		t.Errorf("output order %v, want %v", back.OutputOrder, n.OutputOrder)
+	}
+	if err := back.Validate(); err != nil {
+		t.Errorf("round-tripped network invalid: %v", err)
+	}
+}
+
+func TestJSONLayersRecomputed(t *testing.T) {
+	// Layers are not serialized; the decoder must recompute them even
+	// if the source had none.
+	src := `{"name":"x","width":3,"gates":[{"wires":[0,1]},{"wires":[1,2]}]}`
+	var n Network
+	if err := json.Unmarshal([]byte(src), &n); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if n.Gates[0].Layer != 1 || n.Gates[1].Layer != 2 || n.Depth() != 2 {
+		t.Errorf("layers not recomputed: %+v depth=%d", n.Gates, n.Depth())
+	}
+	if len(n.OutputOrder) != 3 {
+		t.Errorf("missing output order should default to identity, got %v", n.OutputOrder)
+	}
+}
+
+func TestJSONRejectsBadNetworks(t *testing.T) {
+	bad := []string{
+		`{"width":-1}`,
+		`{"width":2,"gates":[{"wires":[0]}]}`,   // unary gate
+		`{"width":2,"gates":[{"wires":[0,5]}]}`, // out of range
+		`{"width":2,"gates":[{"wires":[1,1]}]}`, // duplicate wire
+		`{"width":2,"output_order":[0]}`,        // short order
+		`{"width":2,"output_order":[0,0]}`,      // not a permutation
+		`not json`,
+	}
+	for _, src := range bad {
+		var n Network
+		if err := json.Unmarshal([]byte(src), &n); err == nil {
+			t.Errorf("accepted bad network %s", src)
+		}
+	}
+}
+
+func TestJSONStable(t *testing.T) {
+	n := buildSample()
+	d1, _ := json.Marshal(n)
+	d2, _ := json.Marshal(n)
+	if string(d1) != string(d2) {
+		t.Error("marshaling is not deterministic")
+	}
+	if !strings.Contains(string(d1), `"name":"sample"`) {
+		t.Errorf("payload missing name: %s", d1)
+	}
+}

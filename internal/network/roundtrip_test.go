@@ -1,0 +1,106 @@
+package network
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+)
+
+// randomNetwork builds a deterministic pseudo-random network from a
+// seed: a handful of gates of widths 2-4 over 6 wires plus a seeded
+// output permutation.
+func randomNetwork(seed uint32) *Network {
+	const w = 6
+	b := NewBuilder(w)
+	x := uint64(seed)*2654435761 + 1
+	next := func(n int) int {
+		x = x*6364136223846793005 + 1442695040888963407
+		return int((x >> 33) % uint64(n))
+	}
+	gates := 3 + next(8)
+	for g := 0; g < gates; g++ {
+		width := 2 + next(3)
+		perm := make([]int, w)
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := w - 1; i > 0; i-- {
+			j := next(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		b.Add(perm[:width], "")
+	}
+	order := make([]int, w)
+	for i := range order {
+		order[i] = i
+	}
+	for i := w - 1; i > 0; i-- {
+		j := next(i + 1)
+		order[i], order[j] = order[j], order[i]
+	}
+	return b.Build("rand", order)
+}
+
+// TestFormatsPreserveStructure: for random networks, both the JSON and
+// the text serialization round-trip to a structurally identical
+// network (same gates, layers, output order).
+func TestFormatsPreserveStructure(t *testing.T) {
+	f := func(seed uint32) bool {
+		n := randomNetwork(seed)
+
+		data, err := json.Marshal(n)
+		if err != nil {
+			return false
+		}
+		var viaJSON Network
+		if err := json.Unmarshal(data, &viaJSON); err != nil {
+			return false
+		}
+
+		viaText, err := ParseText("rand", n.Width(), n.FormatText())
+		if err != nil {
+			return false
+		}
+
+		for _, back := range []*Network{&viaJSON, viaText} {
+			if back.Size() != n.Size() || back.Depth() != n.Depth() || back.Width() != n.Width() {
+				return false
+			}
+			for i := range n.OutputOrder {
+				if back.OutputOrder[i] != n.OutputOrder[i] {
+					return false
+				}
+			}
+			if back.Validate() != nil {
+				return false
+			}
+		}
+		// Text round trip preserves gate wiring exactly (layer grouping
+		// sorts gates by first wire, so compare as multisets of wire
+		// lists).
+		want := map[string]int{}
+		for i := range n.Gates {
+			key := ""
+			for _, wv := range n.Gates[i].Wires {
+				key += string(rune('a' + wv))
+			}
+			want[key]++
+		}
+		for i := range viaText.Gates {
+			key := ""
+			for _, wv := range viaText.Gates[i].Wires {
+				key += string(rune('a' + wv))
+			}
+			want[key]--
+		}
+		for _, v := range want {
+			if v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}

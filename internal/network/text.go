@@ -1,0 +1,117 @@
+package network
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FormatText renders the network in the compact layer notation used in
+// the sorting-network literature: one line per layer, gates as
+// colon-joined wire lists separated by spaces. 2-comparators render as
+// the conventional "a:b"; wider balancers extend the notation
+// naturally ("a:b:c").
+//
+//	0:1 2:3
+//	0:3 1:2
+//	0:1 2:3
+//
+// Comment lines (#) and blank lines are ignored by ParseText. The
+// output order is appended as a trailing "# out: ..." comment when it
+// is not the identity.
+func (n *Network) FormatText() string {
+	var sb strings.Builder
+	for _, ids := range n.Layers() {
+		for k, id := range ids {
+			if k > 0 {
+				sb.WriteByte(' ')
+			}
+			g := &n.Gates[id]
+			for i, w := range g.Wires {
+				if i > 0 {
+					sb.WriteByte(':')
+				}
+				sb.WriteString(strconv.Itoa(w))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	identity := true
+	for i, w := range n.OutputOrder {
+		if i != w {
+			identity = false
+			break
+		}
+	}
+	if !identity {
+		sb.WriteString("# out:")
+		for _, w := range n.OutputOrder {
+			sb.WriteByte(' ')
+			sb.WriteString(strconv.Itoa(w))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ParseText parses the layer notation produced by FormatText (or by
+// hand, or by external sorting-network tools) into a Network of the
+// given width and name. Gates on one line must be wire-disjoint; gate
+// layers are re-derived by the builder, so splitting or joining lines
+// changes at most the grouping, never the semantics.
+func ParseText(name string, width int, src string) (*Network, error) {
+	b := NewBuilder(width)
+	var outOrder []int
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+			if strings.HasPrefix(rest, "out:") {
+				fields := strings.Fields(strings.TrimPrefix(rest, "out:"))
+				outOrder = make([]int, 0, len(fields))
+				for _, f := range fields {
+					v, err := strconv.Atoi(f)
+					if err != nil {
+						return nil, fmt.Errorf("network: line %d: bad output order entry %q", lineNo+1, f)
+					}
+					outOrder = append(outOrder, v)
+				}
+			}
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			parts := strings.Split(tok, ":")
+			if len(parts) < 2 {
+				return nil, fmt.Errorf("network: line %d: gate %q needs at least two wires", lineNo+1, tok)
+			}
+			wires := make([]int, 0, len(parts))
+			seen := map[int]bool{}
+			for _, p := range parts {
+				v, err := strconv.Atoi(p)
+				if err != nil {
+					return nil, fmt.Errorf("network: line %d: bad wire %q", lineNo+1, p)
+				}
+				if v < 0 || v >= width {
+					return nil, fmt.Errorf("network: line %d: wire %d outside width %d", lineNo+1, v, width)
+				}
+				if seen[v] {
+					return nil, fmt.Errorf("network: line %d: gate %q repeats wire %d", lineNo+1, tok, v)
+				}
+				seen[v] = true
+				wires = append(wires, v)
+			}
+			b.Add(wires, "")
+		}
+	}
+	if outOrder != nil && len(outOrder) != width {
+		return nil, fmt.Errorf("network: output order has %d entries for width %d", len(outOrder), width)
+	}
+	n := b.Build(name, outOrder)
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

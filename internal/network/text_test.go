@@ -1,0 +1,92 @@
+package network
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFormatTextRoundTrip(t *testing.T) {
+	b := NewBuilder(4)
+	b.Add([]int{0, 1}, "")
+	b.Add([]int{2, 3}, "")
+	b.Add([]int{0, 3}, "")
+	b.Add([]int{1, 2}, "")
+	b.Add([]int{0, 1, 2}, "") // a wide gate exercises the extension
+	n := b.Build("t", []int{3, 2, 1, 0})
+
+	text := n.FormatText()
+	back, err := ParseText("t", 4, text)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, text)
+	}
+	if back.Size() != n.Size() || back.Depth() != n.Depth() {
+		t.Errorf("round trip: %d gates depth %d, want %d and %d",
+			back.Size(), back.Depth(), n.Size(), n.Depth())
+	}
+	if !reflect.DeepEqual(back.OutputOrder, n.OutputOrder) {
+		t.Errorf("output order %v, want %v", back.OutputOrder, n.OutputOrder)
+	}
+	for i := range n.Gates {
+		if !reflect.DeepEqual(back.Gates[i].Wires, n.Gates[i].Wires) {
+			t.Errorf("gate %d wires %v, want %v", i, back.Gates[i].Wires, n.Gates[i].Wires)
+		}
+	}
+}
+
+func TestFormatTextIdentityOrderOmitted(t *testing.T) {
+	b := NewBuilder(2)
+	b.Add([]int{0, 1}, "")
+	n := b.Build("x", nil)
+	if strings.Contains(n.FormatText(), "out:") {
+		t.Error("identity order should not be emitted")
+	}
+}
+
+func TestParseTextClassicNotation(t *testing.T) {
+	// The 4-wire bitonic sorter in conventional notation.
+	src := `
+# a classic
+0:1 2:3
+0:3 1:2
+0:1 2:3
+`
+	n, err := ParseText("classic", 4, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Size() != 6 || n.Depth() != 3 {
+		t.Errorf("parsed %d gates depth %d", n.Size(), n.Depth())
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	bad := []string{
+		"0",          // lone wire
+		"0:x",        // not a number
+		"0:9",        // out of range
+		"1:1",        // repeated wire
+		"# out: 0",   // short output order (width 2)
+		"# out: 0 q", // bad order entry
+	}
+	for _, src := range bad {
+		if _, err := ParseText("bad", 2, src); err == nil {
+			t.Errorf("ParseText accepted %q", src)
+		}
+	}
+}
+
+func TestParseTextLayerSplitIrrelevant(t *testing.T) {
+	// The same gates on one line or many lines behave identically.
+	a, err := ParseText("a", 4, "0:1 2:3\n0:2 1:3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseText("b", 4, "0:1\n2:3\n0:2\n1:3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Depth() != b.Depth() || a.Size() != b.Size() {
+		t.Errorf("layout-sensitive parse: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,132 @@
+// Package pool implements the classic shared-pool application of
+// counting networks: a concurrent producer/consumer structure in which
+// a "put" counting network spreads insertions over w buffers and a
+// "get" counting network spreads removals the same way. Because both
+// counters are gap-free at quiescence, the k-th removal overall is
+// matched with the k-th insertion into the same buffer slot — every
+// item is delivered exactly once, and contention splits across w
+// buffer locks plus the networks' balancers instead of one central
+// lock.
+//
+// The paper's Fetch&Increment counters are exactly the coordination
+// primitive this uses; the pool is the end-to-end system a downstream
+// user would build with them.
+package pool
+
+import (
+	"sync"
+
+	"countnet/internal/counter"
+	"countnet/internal/network"
+)
+
+// Pool is an unordered concurrent collection: items Put concurrently
+// are each returned by exactly one Get. Get blocks until an item is
+// available.
+type Pool[T any] struct {
+	width int
+	put   *counter.NetworkCounter
+	get   *counter.NetworkCounter
+	bufs  []buffer[T]
+}
+
+type buffer[T any] struct {
+	_  [64]byte
+	mu sync.Mutex
+	cv *sync.Cond
+	// items[k] holds the k-th item assigned to this buffer; a slice
+	// keeps the rank matching exact (a queue per buffer). taken counts
+	// consumed slots (consumption can happen out of rank order when a
+	// high-rank getter is scheduled before a low-rank one).
+	items []T
+	taken int
+}
+
+// New builds a pool over the given counting network (its width sets the
+// number of buffers). Two independent counters are compiled from the
+// same network structure.
+func New[T any](net *network.Network) *Pool[T] {
+	p := &Pool[T]{
+		width: net.Width(),
+		put:   counter.NewNetworkCounter(net, false),
+		get:   counter.NewNetworkCounter(net, false),
+		bufs:  make([]buffer[T], net.Width()),
+	}
+	for i := range p.bufs {
+		p.bufs[i].cv = sync.NewCond(&p.bufs[i].mu)
+	}
+	return p
+}
+
+// Handle returns a goroutine-local view with private entry cursors for
+// both underlying networks. Handles must not be shared.
+func (p *Pool[T]) Handle(id int) *Handle[T] {
+	return &Handle[T]{
+		pool: p,
+		put:  p.put.Handle(id),
+		get:  p.get.Handle(id),
+	}
+}
+
+// Handle is a single-goroutine view of a Pool.
+type Handle[T any] struct {
+	pool *Pool[T]
+	put  counter.Counter
+	get  counter.Counter
+}
+
+// Put inserts an item.
+func (h *Handle[T]) Put(item T) {
+	v := h.put.Next()
+	h.pool.putAt(v, item)
+}
+
+// Get removes and returns an item, blocking until one is available.
+func (h *Handle[T]) Get() T {
+	v := h.get.Next()
+	return h.pool.getAt(v)
+}
+
+// Put inserts an item via the pool's shared dispatcher (fine outside
+// tight loops).
+func (p *Pool[T]) Put(item T) { p.putAt(p.put.Next(), item) }
+
+// Get removes an item via the shared dispatcher, blocking until one is
+// available.
+func (p *Pool[T]) Get() T { return p.getAt(p.get.Next()) }
+
+func (p *Pool[T]) putAt(v int64, item T) {
+	b := &p.bufs[v%int64(p.width)]
+	b.mu.Lock()
+	b.items = append(b.items, item)
+	b.mu.Unlock()
+	b.cv.Broadcast()
+}
+
+func (p *Pool[T]) getAt(v int64) T {
+	b := &p.bufs[v%int64(p.width)]
+	rank := int(v / int64(p.width)) // this consumer takes the rank-th item of the buffer
+	b.mu.Lock()
+	for len(b.items) <= rank {
+		b.cv.Wait()
+	}
+	item := b.items[rank]
+	var zero T
+	b.items[rank] = zero // release for GC; slots are single-consumer
+	b.taken++
+	b.mu.Unlock()
+	return item
+}
+
+// Len reports the number of items currently buffered and unconsumed
+// (a snapshot under concurrency; exact at quiescence).
+func (p *Pool[T]) Len() int {
+	n := 0
+	for i := range p.bufs {
+		b := &p.bufs[i]
+		b.mu.Lock()
+		n += len(b.items) - b.taken
+		b.mu.Unlock()
+	}
+	return n
+}

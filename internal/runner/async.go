@@ -1,0 +1,167 @@
+package runner
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"countnet/internal/network"
+)
+
+// Async is a compiled form of a balancing network for real concurrent
+// execution: many goroutines shepherd tokens through the network at
+// once, contending on per-balancer state exactly as the distributed
+// data structure of the paper intends.
+//
+// Two balancer implementations are provided. The atomic implementation
+// realizes a p-balancer as a single fetch-and-add counter: the i-th
+// arriving token leaves on port i mod p, which is precisely the
+// balancer specification. The mutex implementation guards a plain
+// counter with a sync.Mutex; it exists to measure how lock-based
+// balancers behave under contention (the regime studied by the
+// shared-memory counting network literature the paper cites).
+type Async struct {
+	width  int
+	entry  []int32 // first gate per wire, -1 if none
+	gates  []asyncGate
+	outPos []int32 // wire -> position in the output order
+}
+
+type asyncGate struct {
+	_     [64]byte // pad to keep hot counters on distinct cache lines
+	count atomic.Int64
+	mu    sync.Mutex
+	seq   int64 // counter used under mutex traversal
+	width int64
+	wires []int32
+	next  []int32 // next gate per port, -1 if the token exits
+}
+
+// Compile prepares a network for concurrent traversal.
+func Compile(net *network.Network) *Async {
+	w := net.Width()
+	a := &Async{
+		width:  w,
+		entry:  make([]int32, w),
+		gates:  make([]asyncGate, net.Size()),
+		outPos: make([]int32, w),
+	}
+	wireGates := net.WireGates()
+	for wire := 0; wire < w; wire++ {
+		a.entry[wire] = -1
+		if len(wireGates[wire]) > 0 {
+			a.entry[wire] = int32(wireGates[wire][0])
+		}
+	}
+	for gi := range net.Gates {
+		g := &net.Gates[gi]
+		ag := &a.gates[gi]
+		ag.width = int64(g.Width())
+		ag.wires = make([]int32, g.Width())
+		ag.next = make([]int32, g.Width())
+		for port, wire := range g.Wires {
+			ag.wires[port] = int32(wire)
+			ag.next[port] = -1
+			lst := wireGates[wire]
+			for k, id := range lst {
+				if id == gi {
+					if k+1 < len(lst) {
+						ag.next[port] = int32(lst[k+1])
+					}
+					break
+				}
+			}
+		}
+	}
+	for pos, wire := range net.OutputOrder {
+		a.outPos[wire] = int32(pos)
+	}
+	return a
+}
+
+// Width returns the network width.
+func (a *Async) Width() int { return a.width }
+
+// Traverse pushes one token into the network on the given entry wire
+// using atomic fetch-and-add balancers, and returns the output-order
+// position on which the token exits. Safe for concurrent use.
+func (a *Async) Traverse(entryWire int) int {
+	if entryWire < 0 || entryWire >= a.width {
+		panic(fmt.Sprintf("runner: entry wire %d outside width %d", entryWire, a.width))
+	}
+	wire := int32(entryWire)
+	gid := a.entry[wire]
+	for gid >= 0 {
+		g := &a.gates[gid]
+		i := g.count.Add(1) - 1
+		port := i % g.width
+		wire = g.wires[port]
+		gid = g.next[port]
+	}
+	return int(a.outPos[wire])
+}
+
+// TraverseMutex is Traverse with lock-based balancers. The two modes
+// share no state; do not mix them on one Async instance within a run.
+func (a *Async) TraverseMutex(entryWire int) int {
+	if entryWire < 0 || entryWire >= a.width {
+		panic(fmt.Sprintf("runner: entry wire %d outside width %d", entryWire, a.width))
+	}
+	wire := int32(entryWire)
+	gid := a.entry[wire]
+	for gid >= 0 {
+		g := &a.gates[gid]
+		g.mu.Lock()
+		i := g.seq
+		g.seq++
+		g.mu.Unlock()
+		port := i % g.width
+		wire = g.wires[port]
+		gid = g.next[port]
+	}
+	return int(a.outPos[wire])
+}
+
+// Reset clears all balancer state (both modes), returning the network
+// to its initial quiescent configuration.
+func (a *Async) Reset() {
+	for i := range a.gates {
+		a.gates[i].count.Store(0)
+		a.gates[i].seq = 0
+	}
+}
+
+// ExitCounts runs tokensPerWire tokens on every input wire from
+// workers concurrent goroutines using atomic balancers, waits for
+// quiescence, and returns the per-position exit counts in output order.
+// It is the concurrent analogue of ApplyTokens on a uniform input and
+// is used by tests to check the step property under real interleaving.
+func (a *Async) ExitCounts(tokensPerWire int, workers int) []int64 {
+	if workers < 1 {
+		workers = 1
+	}
+	total := tokensPerWire * a.width
+	var next atomic.Int64
+	counts := make([]atomic.Int64, a.width)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := next.Add(1) - 1
+				if k >= int64(total) {
+					return
+				}
+				pos := a.Traverse(int(k) % a.width)
+				counts[pos].Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	out := make([]int64, a.width)
+	for i := range counts {
+		out[i] = counts[i].Load()
+	}
+	return out
+}

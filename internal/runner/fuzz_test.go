@@ -1,0 +1,90 @@
+package runner
+
+import (
+	"testing"
+
+	"countnet/internal/network"
+	"countnet/internal/seq"
+)
+
+// fuzzNet is a fixed counting network (the 4-wide bitonic) used as the
+// fuzzing subject; building networks per-input would fuzz the builder,
+// not the engines.
+func fuzzNet() *network.Network {
+	b := network.NewBuilder(4)
+	b.Add([]int{0, 1}, "")
+	b.Add([]int{2, 3}, "")
+	b.Add([]int{0, 3}, "")
+	b.Add([]int{1, 2}, "")
+	b.Add([]int{0, 1}, "")
+	b.Add([]int{2, 3}, "")
+	return b.Build("fuzz4", nil)
+}
+
+// FuzzApplyTokensStep: for any non-negative token input, the counting
+// network's quiescent output has the step property and conserves
+// tokens, and the serial simulator agrees with the transfer function.
+func FuzzApplyTokensStep(f *testing.F) {
+	f.Add(uint16(0), uint16(0), uint16(0), uint16(0))
+	f.Add(uint16(1), uint16(0), uint16(0), uint16(0))
+	f.Add(uint16(65535), uint16(1), uint16(500), uint16(3))
+	f.Add(uint16(7), uint16(7), uint16(7), uint16(7))
+	net := fuzzNet()
+	f.Fuzz(func(t *testing.T, a, b, c, d uint16) {
+		in := []int64{int64(a), int64(b), int64(c), int64(d)}
+		out := ApplyTokens(net, in)
+		if !seq.IsStep(out) {
+			t.Fatalf("output %v of %v not step", out, in)
+		}
+		if seq.Sum(out) != seq.Sum(in) {
+			t.Fatalf("token loss: %v -> %v", in, out)
+		}
+		// Serial cross-check on a bounded version of the same multiset.
+		var tokens []int
+		for wire, cnt := range in {
+			for k := int64(0); k < cnt%8; k++ {
+				tokens = append(tokens, wire)
+			}
+		}
+		small := make([]int64, 4)
+		for _, w := range tokens {
+			small[w]++
+		}
+		serial, _ := ApplyTokensSerial(net, tokens)
+		quiesced := ApplyTokens(net, small)
+		for i := range serial {
+			if serial[i] != quiesced[i] {
+				t.Fatalf("serial %v != quiescent %v for %v", serial, quiesced, small)
+			}
+		}
+	})
+}
+
+// FuzzComparatorsSort: for any batch, the output is descending and a
+// permutation of the input.
+func FuzzComparatorsSort(f *testing.F) {
+	f.Add(int16(0), int16(0), int16(0), int16(0))
+	f.Add(int16(-5), int16(3), int16(32767), int16(-32768))
+	f.Add(int16(1), int16(2), int16(3), int16(4))
+	net := fuzzNet()
+	f.Fuzz(func(t *testing.T, a, b, c, d int16) {
+		in := []int64{int64(a), int64(b), int64(c), int64(d)}
+		out := ApplyComparators(net, in)
+		for i := 1; i < len(out); i++ {
+			if out[i-1] < out[i] {
+				t.Fatalf("not descending: %v -> %v", in, out)
+			}
+		}
+		var sumIn, sumOut int64
+		var xorIn, xorOut int64
+		for i := range in {
+			sumIn += in[i]
+			sumOut += out[i]
+			xorIn ^= in[i]
+			xorOut ^= out[i]
+		}
+		if sumIn != sumOut || xorIn != xorOut {
+			t.Fatalf("multiset changed: %v -> %v", in, out)
+		}
+	})
+}

@@ -1,0 +1,200 @@
+package runner
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"countnet/internal/network"
+)
+
+// Sorter is a reusable comparator-semantics executor with preallocated
+// scratch, for hot loops where ApplyComparators' per-call allocation
+// matters. Not safe for concurrent use; create one per goroutine.
+type Sorter struct {
+	net *network.Network
+	buf []int64
+	out []int64
+}
+
+// NewSorter prepares a Sorter for the network.
+func NewSorter(net *network.Network) *Sorter {
+	return &Sorter{
+		net: net,
+		buf: make([]int64, net.MaxGateWidth()),
+		out: make([]int64, net.Width()),
+	}
+}
+
+// Sort sorts one batch in place of the internal buffer and returns it
+// in network output order (descending). The returned slice is reused by
+// the next call; copy it if you keep it.
+func (s *Sorter) Sort(in []int64) []int64 {
+	if len(in) != s.net.Width() {
+		panic(fmt.Sprintf("runner: %d inputs for width-%d network", len(in), s.net.Width()))
+	}
+	copy(s.out, in) // out doubles as the wire-value scratch
+	vals := s.out
+	for gi := range s.net.Gates {
+		g := &s.net.Gates[gi]
+		t := s.buf[:g.Width()]
+		for i, wire := range g.Wires {
+			t[i] = vals[wire]
+		}
+		insertionSortDesc(t)
+		for i, wire := range g.Wires {
+			vals[wire] = t[i]
+		}
+	}
+	// Remap to output order in place via a temp walk (widths are small;
+	// allocate-free by permuting through buf chunks would be fiddly —
+	// use a second fixed buffer).
+	if s.outOrderIsIdentity() {
+		return vals
+	}
+	tmp := s.buf
+	if cap(tmp) < len(vals) {
+		tmp = make([]int64, len(vals))
+		s.buf = tmp
+	}
+	tmp = tmp[:len(vals)]
+	for k, wire := range s.net.OutputOrder {
+		tmp[k] = vals[wire]
+	}
+	copy(vals, tmp)
+	return vals
+}
+
+func (s *Sorter) outOrderIsIdentity() bool {
+	for i, w := range s.net.OutputOrder {
+		if i != w {
+			return false
+		}
+	}
+	return true
+}
+
+func insertionSortDesc(t []int64) {
+	for i := 1; i < len(t); i++ {
+		v := t[i]
+		j := i - 1
+		for j >= 0 && t[j] < v {
+			t[j+1] = t[j]
+			j--
+		}
+		t[j+1] = v
+	}
+}
+
+// Pipeline executes a stream of batches through the network with one
+// goroutine per layer — the deployment mode sorting networks are
+// designed for: batch k can be in layer 3 while batch k+1 is in layer
+// 2. Throughput approaches one batch per layer-latency instead of one
+// batch per network-latency.
+type Pipeline struct {
+	net    *network.Network
+	stages []chan []int64
+	out    chan []int64
+	wg     sync.WaitGroup
+}
+
+// NewPipeline starts the layer goroutines. Close the pipeline with
+// Close after the last Submit; results arrive on Results in submission
+// order.
+func NewPipeline(net *network.Network, buffer int) *Pipeline {
+	layers := net.Layers()
+	p := &Pipeline{net: net}
+	p.stages = make([]chan []int64, len(layers)+1)
+	for i := range p.stages {
+		p.stages[i] = make(chan []int64, buffer)
+	}
+	p.out = p.stages[len(layers)]
+	for li, ids := range layers {
+		li, ids := li, ids
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer close(p.stages[li+1])
+			buf := make([]int64, net.MaxGateWidth())
+			for vals := range p.stages[li] {
+				for _, id := range ids {
+					g := &net.Gates[id]
+					t := buf[:g.Width()]
+					for i, wire := range g.Wires {
+						t[i] = vals[wire]
+					}
+					insertionSortDesc(t)
+					for i, wire := range g.Wires {
+						vals[wire] = t[i]
+					}
+				}
+				p.stages[li+1] <- vals
+			}
+		}()
+	}
+	return p
+}
+
+// Submit feeds one batch (length Width) into the pipeline. The slice is
+// owned by the pipeline until it reappears on Results (rearranged to
+// output order). Submit blocks when the pipeline is full.
+func (p *Pipeline) Submit(batch []int64) {
+	if len(batch) != p.net.Width() {
+		panic(fmt.Sprintf("runner: %d inputs for width-%d network", len(batch), p.net.Width()))
+	}
+	p.stages[0] <- batch
+}
+
+// Results returns the channel of completed batches, in submission
+// order. Batches stay in wire order (zero-copy); when the network's
+// OutputOrder is not the identity, index batch[OutputOrder[k]] for the
+// k-th ranked value.
+func (p *Pipeline) Results() <-chan []int64 { return p.out }
+
+// Close signals the end of input; Results closes after the last batch
+// drains.
+func (p *Pipeline) Close() {
+	close(p.stages[0])
+}
+
+// Wait blocks until all stages exit (call after Close and draining
+// Results).
+func (p *Pipeline) Wait() { p.wg.Wait() }
+
+// OutputOrder exposes the network's output ordering so consumers can
+// interpret Results batches (which stay in wire order for zero-copy).
+func (p *Pipeline) OutputOrder() []int { return p.net.OutputOrder }
+
+// SortBatches sorts every batch through the network using `workers`
+// data-parallel goroutines, each with a private Sorter. Batches are
+// replaced in place with their sorted contents in network output order
+// (descending). It complements Pipeline: data parallelism across
+// batches rather than pipeline parallelism across layers.
+func SortBatches(net *network.Network, batches [][]int64, workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(batches) {
+		workers = len(batches)
+	}
+	if workers == 0 {
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := NewSorter(net)
+			for {
+				k := int(next.Add(1) - 1)
+				if k >= len(batches) {
+					return
+				}
+				copy(batches[k], s.Sort(batches[k]))
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,147 @@
+package runner
+
+import (
+	"fmt"
+
+	"countnet/internal/network"
+)
+
+// ApplyTokens runs the network under quiescent balancer semantics.
+// in[i] is the number of tokens entering on wire i. The result is the
+// network's output sequence of token counts: element k is the number of
+// tokens leaving on wire net.OutputOrder[k].
+//
+// The transfer function at a width-p balancer with input counts summing
+// to t is exact for any quiescent execution: output j carries
+// ceil((t-j)/p) tokens, because the i-th token to enter leaves on wire
+// i mod p regardless of arrival interleaving.
+func ApplyTokens(net *network.Network, in []int64) []int64 {
+	if len(in) != net.Width() {
+		panic(fmt.Sprintf("runner: %d token counts for width-%d network", len(in), net.Width()))
+	}
+	counts := append([]int64(nil), in...)
+	for gi := range net.Gates {
+		g := &net.Gates[gi]
+		p := int64(g.Width())
+		var t int64
+		for _, wire := range g.Wires {
+			if counts[wire] < 0 {
+				panic(fmt.Sprintf("runner: negative token count on wire %d", wire))
+			}
+			t += counts[wire]
+		}
+		q, r := t/p, t%p
+		for j, wire := range g.Wires {
+			counts[wire] = q
+			if int64(j) < r {
+				counts[wire]++
+			}
+		}
+	}
+	out := make([]int64, len(counts))
+	for k, wire := range net.OutputOrder {
+		out[k] = counts[wire]
+	}
+	return out
+}
+
+// Stepper is a reusable, allocation-free version of ApplyTokens for
+// hot verification loops. Not safe for concurrent use.
+type Stepper struct {
+	net    *network.Network
+	counts []int64
+	out    []int64
+}
+
+// NewStepper prepares a Stepper for the network.
+func NewStepper(net *network.Network) *Stepper {
+	return &Stepper{
+		net:    net,
+		counts: make([]int64, net.Width()),
+		out:    make([]int64, net.Width()),
+	}
+}
+
+// Step computes the quiescent output distribution for the given input
+// token counts. The returned slice is reused by the next call.
+func (s *Stepper) Step(in []int64) []int64 {
+	if len(in) != s.net.Width() {
+		panic(fmt.Sprintf("runner: %d token counts for width-%d network", len(in), s.net.Width()))
+	}
+	copy(s.counts, in)
+	counts := s.counts
+	for gi := range s.net.Gates {
+		g := &s.net.Gates[gi]
+		p := int64(g.Width())
+		var t int64
+		for _, wire := range g.Wires {
+			t += counts[wire]
+		}
+		q, r := t/p, t%p
+		for j, wire := range g.Wires {
+			counts[wire] = q
+			if int64(j) < r {
+				counts[wire]++
+			}
+		}
+	}
+	for k, wire := range s.net.OutputOrder {
+		s.out[k] = counts[wire]
+	}
+	return s.out
+}
+
+// ApplyTokensSerial simulates a balancing network one token at a time:
+// tokens[k] is the entry wire of the k-th token to enter the network
+// (tokens on distinct wires may be injected in any order in a real
+// execution; serial order is one legal schedule). It returns per-wire
+// exit counts in output order, plus the exit wire position (index into
+// the output order) of each token in injection order.
+//
+// This engine exists to cross-check ApplyTokens — the per-wire exit
+// counts must agree — and to let tests observe individual token paths.
+func ApplyTokensSerial(net *network.Network, tokens []int) (counts []int64, exits []int) {
+	state := make([]int, net.Size()) // tokens seen per gate
+	wireGates := net.WireGates()
+	wireCounts := make([]int64, net.Width())
+	exits = make([]int, len(tokens))
+	for k, entry := range tokens {
+		if entry < 0 || entry >= net.Width() {
+			panic(fmt.Sprintf("runner: token enters on wire %d outside width %d", entry, net.Width()))
+		}
+		wire := entry
+		slot := 0
+		for slot < len(wireGates[wire]) {
+			gid := wireGates[wire][slot]
+			g := &net.Gates[gid]
+			i := state[gid]
+			state[gid]++
+			next := g.Wires[i%g.Width()]
+			// Find this gate's position on the next wire and continue after it.
+			slot = gatePosOnWire(wireGates[next], gid) + 1
+			wire = next
+		}
+		wireCounts[wire]++
+		exits[k] = -1
+		for pos, w := range net.OutputOrder {
+			if w == wire {
+				exits[k] = pos
+				break
+			}
+		}
+	}
+	counts = make([]int64, net.Width())
+	for pos, w := range net.OutputOrder {
+		counts[pos] = wireCounts[w]
+	}
+	return counts, exits
+}
+
+func gatePosOnWire(gates []int, gid int) int {
+	for i, g := range gates {
+		if g == gid {
+			return i
+		}
+	}
+	panic("runner: gate not on wire")
+}

@@ -1,0 +1,400 @@
+package seq
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSum(t *testing.T) {
+	cases := []struct {
+		in   []int64
+		want int64
+	}{
+		{nil, 0},
+		{[]int64{}, 0},
+		{[]int64{5}, 5},
+		{[]int64{1, 2, 3}, 6},
+		{[]int64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Sum(c.in); got != c.want {
+			t.Errorf("Sum(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsStep(t *testing.T) {
+	cases := []struct {
+		in   []int64
+		want bool
+	}{
+		{nil, true},
+		{[]int64{7}, true},
+		{[]int64{3, 3, 3}, true},
+		{[]int64{4, 3, 3}, true},
+		{[]int64{4, 4, 3}, true},
+		{[]int64{3, 4}, false},    // increasing
+		{[]int64{5, 3}, false},    // drop of 2
+		{[]int64{4, 3, 4}, false}, // rises again
+		{[]int64{4, 4, 3, 3}, true},
+		{[]int64{4, 3, 3, 2}, false}, // total drop 2
+	}
+	for _, c := range cases {
+		if got := IsStep(c.in); got != c.want {
+			t.Errorf("IsStep(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMakeStepIsStepAndSums(t *testing.T) {
+	for w := 1; w <= 9; w++ {
+		for total := int64(0); total <= int64(4*w); total++ {
+			s := MakeStep(w, total)
+			if len(s) != w {
+				t.Fatalf("MakeStep(%d,%d) has length %d", w, total, len(s))
+			}
+			if !IsStep(s) {
+				t.Errorf("MakeStep(%d,%d) = %v not step", w, total, s)
+			}
+			if Sum(s) != total {
+				t.Errorf("MakeStep(%d,%d) sums to %d", w, total, Sum(s))
+			}
+		}
+	}
+}
+
+func TestMakeStepUnique(t *testing.T) {
+	// The step sequence of a given length and sum is unique: verify by
+	// enumerating all step sequences of width 4 with values in [0,3].
+	seen := map[int64][]int64{}
+	var rec func(prefix []int64)
+	rec = func(prefix []int64) {
+		if len(prefix) == 4 {
+			if IsStep(prefix) {
+				total := Sum(prefix)
+				if prev, ok := seen[total]; ok && !reflect.DeepEqual(prev, prefix) {
+					t.Fatalf("two step sequences with sum %d: %v and %v", total, prev, prefix)
+				}
+				seen[total] = append([]int64(nil), prefix...)
+				if got := MakeStep(4, total); !reflect.DeepEqual(got, seen[total]) {
+					t.Fatalf("MakeStep(4,%d) = %v, enumerated %v", total, got, seen[total])
+				}
+			}
+			return
+		}
+		for v := int64(0); v <= 3; v++ {
+			rec(append(prefix, v))
+		}
+	}
+	rec(nil)
+	if len(seen) == 0 {
+		t.Fatal("enumeration found no step sequences")
+	}
+}
+
+func TestStepPoint(t *testing.T) {
+	cases := []struct {
+		in   []int64
+		want int
+	}{
+		{[]int64{2, 2, 2}, 0},
+		{[]int64{3, 2, 2}, 0},
+		{[]int64{3, 3, 2}, 1},
+		{[]int64{3, 3, 3, 2}, 2},
+		{[]int64{9}, 0},
+	}
+	for _, c := range cases {
+		if got := StepPoint(c.in); got != c.want {
+			t.Errorf("StepPoint(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStepPointPanicsOnNonStep(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	StepPoint([]int64{1, 2})
+}
+
+func TestIsSmooth(t *testing.T) {
+	cases := []struct {
+		in   []int64
+		k    int64
+		want bool
+	}{
+		{nil, 0, true},
+		{[]int64{5}, 0, true},
+		{[]int64{5, 5}, 0, true},
+		{[]int64{5, 6}, 0, false},
+		{[]int64{5, 6}, 1, true},
+		{[]int64{5, 7, 6}, 1, false},
+		{[]int64{5, 7, 6}, 2, true},
+	}
+	for _, c := range cases {
+		if got := IsSmooth(c.in, c.k); got != c.want {
+			t.Errorf("IsSmooth(%v,%d) = %v, want %v", c.in, c.k, got, c.want)
+		}
+	}
+}
+
+func TestStepImpliesOneSmooth(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		s := MakeStep(1+rng.Intn(12), int64(rng.Intn(100)))
+		if !IsSmooth(s, 1) {
+			t.Fatalf("step sequence %v not 1-smooth", s)
+		}
+	}
+}
+
+func TestTransitionsAndBitonic(t *testing.T) {
+	cases := []struct {
+		in      []int64
+		trans   int
+		bitonic bool
+	}{
+		{nil, 0, true},
+		{[]int64{1, 1, 1}, 0, true},
+		{[]int64{1, 0, 0}, 1, true},
+		{[]int64{0, 1, 0}, 2, true},
+		{[]int64{1, 0, 1}, 2, true},
+		{[]int64{1, 0, 1, 0}, 3, false},
+		{[]int64{2, 0, 2}, 2, false}, // not 1-smooth
+	}
+	for _, c := range cases {
+		if got := Transitions(c.in); got != c.trans {
+			t.Errorf("Transitions(%v) = %d, want %d", c.in, got, c.trans)
+		}
+		if got := IsBitonic(c.in); got != c.bitonic {
+			t.Errorf("IsBitonic(%v) = %v, want %v", c.in, got, c.bitonic)
+		}
+	}
+}
+
+func TestIsStaircase(t *testing.T) {
+	xs := [][]int64{{3, 3}, {3, 2}, {2, 2}}
+	if !IsStaircase(xs, 2) {
+		t.Error("sums 6,5,4 should satisfy 2-staircase")
+	}
+	if IsStaircase(xs, 1) {
+		t.Error("sums 6,5,4 should fail 1-staircase")
+	}
+	if IsStaircase([][]int64{{1}, {2}}, 5) {
+		t.Error("increasing sums must fail the staircase property")
+	}
+	if !IsStaircase(nil, 0) {
+		t.Error("no sequences is trivially a staircase")
+	}
+}
+
+func TestArrangementRoundTrip(t *testing.T) {
+	arrs := []Arrangement{RowMajor, ReverseRowMajor, ColMajor, ReverseColMajor}
+	for _, a := range arrs {
+		for r := 1; r <= 5; r++ {
+			for c := 1; c <= 5; c++ {
+				seen := make(map[[2]int]bool)
+				for i := 0; i < r*c; i++ {
+					row, col := a.Position(i, r, c)
+					if row < 0 || row >= r || col < 0 || col >= c {
+						t.Fatalf("%v.Position(%d,%d,%d) = (%d,%d) out of range", a, i, r, c, row, col)
+					}
+					if seen[[2]int{row, col}] {
+						t.Fatalf("%v maps two indices to (%d,%d) in %dx%d", a, row, col, r, c)
+					}
+					seen[[2]int{row, col}] = true
+					if back := a.Index(row, col, r, c); back != i {
+						t.Fatalf("%v.Index(%d,%d,%d,%d) = %d, want %d", a, row, col, r, c, back, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestArrangementPaperTable(t *testing.T) {
+	// The Section 3.1 table, spot-checked for a 2x3 matrix (r=2, c=3).
+	r, c := 2, 3
+	check := func(a Arrangement, i, wantRow, wantCol int) {
+		t.Helper()
+		row, col := a.Position(i, r, c)
+		if row != wantRow || col != wantCol {
+			t.Errorf("%v: element %d at (%d,%d), want (%d,%d)", a, i, row, col, wantRow, wantCol)
+		}
+	}
+	check(RowMajor, 0, 0, 0)
+	check(RowMajor, 4, 1, 1)
+	check(ReverseRowMajor, 0, 1, 2)
+	check(ReverseRowMajor, 5, 0, 0)
+	check(ColMajor, 0, 0, 0)
+	check(ColMajor, 3, 1, 1)
+	check(ReverseColMajor, 0, 1, 2)
+	check(ReverseColMajor, 5, 0, 0)
+}
+
+func TestArrangementString(t *testing.T) {
+	if RowMajor.String() != "row major" || ReverseColMajor.String() != "reverse column major" {
+		t.Error("unexpected arrangement names")
+	}
+	if Arrangement(42).String() == "" {
+		t.Error("unknown arrangement should still render")
+	}
+}
+
+func TestMatrixAccess(t *testing.T) {
+	x := []int{0, 1, 2, 3, 4, 5}
+	m := NewMatrix(x, 2, 3, RowMajor)
+	if m.At(0, 2) != 2 || m.At(1, 0) != 3 {
+		t.Errorf("row-major At wrong: %d %d", m.At(0, 2), m.At(1, 0))
+	}
+	m.Set(1, 1, 42)
+	if x[4] != 42 {
+		t.Error("Set did not write through to the sequence")
+	}
+	if got := m.Row(0); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("Row(0) = %v", got)
+	}
+	if got := m.Col(1); !reflect.DeepEqual(got, []int{1, 42}) {
+		t.Errorf("Col(1) = %v", got)
+	}
+	cm := NewMatrix(x, 2, 3, ColMajor)
+	if cm.At(1, 2) != 5 {
+		t.Errorf("col-major At(1,2) = %d, want 5", cm.At(1, 2))
+	}
+}
+
+func TestMatrixFlattenInverse(t *testing.T) {
+	// Flattening under the same arrangement recovers the sequence.
+	x := []int{10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21}
+	for _, a := range []Arrangement{RowMajor, ReverseRowMajor, ColMajor, ReverseColMajor} {
+		m := NewMatrix(x, 3, 4, a)
+		if got := m.Flatten(a); !reflect.DeepEqual(got, x) {
+			t.Errorf("%v: Flatten not inverse: %v", a, got)
+		}
+	}
+}
+
+func TestMatrixPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix([]int{1, 2, 3}, 2, 2, RowMajor)
+}
+
+func TestStride(t *testing.T) {
+	x := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	if got := Stride(x, 1, 3); !reflect.DeepEqual(got, []int{1, 4, 7}) {
+		t.Errorf("Stride = %v", got)
+	}
+	if got := Stride(x, 0, 1); !reflect.DeepEqual(got, x) {
+		t.Errorf("Stride identity = %v", got)
+	}
+	if got := Stride(x, 9, 2); got != nil {
+		t.Errorf("out-of-range start should be empty, got %v", got)
+	}
+}
+
+func TestStridePartition(t *testing.T) {
+	// The strides X[0,k] .. X[k-1,k] partition X.
+	x := make([]int, 24)
+	for i := range x {
+		x[i] = i
+	}
+	for k := 1; k <= 6; k++ {
+		if 24%k != 0 {
+			continue
+		}
+		seen := make([]bool, 24)
+		for i := 0; i < k; i++ {
+			for _, v := range Stride(x, i, k) {
+				if seen[v] {
+					t.Fatalf("k=%d: element %d in two strides", k, v)
+				}
+				seen[v] = true
+			}
+		}
+		for v, ok := range seen {
+			if !ok {
+				t.Fatalf("k=%d: element %d in no stride", k, v)
+			}
+		}
+	}
+}
+
+func TestStrideOfStepIsStep(t *testing.T) {
+	// Quick property: any stride of a step sequence is a step sequence.
+	cfg := &quick.Config{MaxCount: 300}
+	f := func(wRaw, totalRaw, kRaw uint8) bool {
+		w := int(wRaw%20) + 1
+		total := int64(totalRaw)
+		k := int(kRaw%5) + 1
+		s := MakeStep(w, total)
+		for i := 0; i < k; i++ {
+			if !IsStep(Stride(s, i, k)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitAndConcat(t *testing.T) {
+	x := []int{1, 2, 3, 4, 5, 6}
+	parts := Split(x, 2)
+	if len(parts) != 3 || !reflect.DeepEqual(parts[1], []int{3, 4}) {
+		t.Errorf("Split = %v", parts)
+	}
+	if got := Concat(parts...); !reflect.DeepEqual(got, x) {
+		t.Errorf("Concat(Split) = %v", got)
+	}
+	if got := Concat[int](); len(got) != 0 {
+		t.Errorf("empty Concat = %v", got)
+	}
+}
+
+func TestRenderArrangement(t *testing.T) {
+	// A step sequence of sum 5 over 6 elements: 1 1 1 1 1 0.
+	x := MakeStep(6, 5)
+	got := RenderArrangement(x, 2, 3, RowMajor)
+	if got != "###\n##.\n" {
+		t.Errorf("row major:\n%s", got)
+	}
+	got = RenderArrangement(x, 2, 3, ColMajor)
+	if got != "###\n##.\n" {
+		t.Errorf("column major:\n%s", got)
+	}
+	got = RenderArrangement(x, 2, 3, ReverseRowMajor)
+	if got != ".##\n###\n" {
+		t.Errorf("reverse row major:\n%s", got)
+	}
+	// Constant sequences render as all-high.
+	if got := RenderArrangement([]int64{2, 2, 2, 2}, 2, 2, RowMajor); got != "##\n##\n" {
+		t.Errorf("constant:\n%s", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("shape mismatch accepted")
+			}
+		}()
+		RenderArrangement(x, 2, 2, RowMajor)
+	}()
+}
+
+func TestSplitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Split([]int{1, 2, 3}, 2)
+}

@@ -1,0 +1,32 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"countnet/internal/network"
+)
+
+// FormatPaths renders the result of RunTraced as one line per token:
+// the wires visited, the gates traversed with arrival ranks, and the
+// exit position with the Fetch&Increment value the token would be
+// assigned. It is the textual analogue of the token-flow arrows in the
+// paper's Figure 3.
+func FormatPaths(net *network.Network, entries []int, paths [][]PathStep, res Result) string {
+	var sb strings.Builder
+	w := net.Width()
+	for id, entry := range entries {
+		fmt.Fprintf(&sb, "token %d: wire %d", id, entry)
+		for _, st := range paths[id] {
+			label := net.Gates[st.Gate].Label
+			if label == "" {
+				label = fmt.Sprintf("g%d", st.Gate)
+			}
+			fmt.Fprintf(&sb, " -[%s #%d]-> wire %d", label, st.Rank, st.OutWire)
+		}
+		value := res.ExitRanks[id]*w + res.Exits[id]
+		fmt.Fprintf(&sb, "  => exit position %d, value %d\n", res.Exits[id], value)
+	}
+	fmt.Fprintf(&sb, "exit counts (output order): %v\n", res.Counts)
+	return sb.String()
+}

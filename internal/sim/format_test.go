@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"countnet/internal/baseline"
+)
+
+func TestRunTracedPathsConsistent(t *testing.T) {
+	net, _ := baseline.Bitonic(4)
+	entries := []int{0, 1, 2, 3, 0}
+	res, paths := RunTraced(net, entries, FIFO{})
+	plain := Run(net, entries, FIFO{})
+	for i := range res.Counts {
+		if res.Counts[i] != plain.Counts[i] {
+			t.Fatalf("traced counts differ from plain run")
+		}
+	}
+	for id, path := range paths {
+		if len(path) != net.Depth() {
+			t.Errorf("token %d traversed %d gates, want %d (uniform bitonic)", id, len(path), net.Depth())
+		}
+		// Path continuity: each step leaves on the wire the next step
+		// arrives on; first step arrives on the entry wire.
+		if len(path) > 0 && path[0].InWire != entries[id] {
+			t.Errorf("token %d path starts on wire %d, entered %d", id, path[0].InWire, entries[id])
+		}
+		for k := 1; k < len(path); k++ {
+			if path[k].InWire != path[k-1].OutWire {
+				t.Errorf("token %d path discontinuous at step %d", id, k)
+			}
+		}
+	}
+}
+
+func TestRunTracedRanksPerGateAreSequential(t *testing.T) {
+	net, _ := baseline.Bitonic(8)
+	entries := make([]int, 32)
+	for i := range entries {
+		entries[i] = i % 8
+	}
+	_, paths := RunTraced(net, entries, LIFO{})
+	seen := map[int][]bool{} // gate -> ranks seen
+	for _, path := range paths {
+		for _, st := range path {
+			for len(seen[st.Gate]) <= st.Rank {
+				seen[st.Gate] = append(seen[st.Gate], false)
+			}
+			if seen[st.Gate][st.Rank] {
+				t.Fatalf("gate %d rank %d assigned twice", st.Gate, st.Rank)
+			}
+			seen[st.Gate][st.Rank] = true
+		}
+	}
+	for gid, ranks := range seen {
+		for r, ok := range ranks {
+			if !ok {
+				t.Fatalf("gate %d skipped rank %d", gid, r)
+			}
+		}
+	}
+}
+
+func TestFormatPaths(t *testing.T) {
+	net, _ := baseline.Bitonic(4)
+	entries := []int{0, 0}
+	res, paths := RunTraced(net, entries, FIFO{})
+	out := FormatPaths(net, entries, paths, res)
+	for _, frag := range []string{"token 0:", "token 1:", "exit position", "value", "exit counts"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("FormatPaths missing %q:\n%s", frag, out)
+		}
+	}
+	if strings.Count(out, "\n") != 3 {
+		t.Errorf("want 3 lines, got:\n%s", out)
+	}
+}

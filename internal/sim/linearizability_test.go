@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"testing"
+
+	"countnet/internal/baseline"
+	"countnet/internal/core"
+	"countnet/internal/network"
+	"countnet/internal/seq"
+)
+
+// pathSteps returns the number of atomic steps token takes from entry
+// wire e to completion when it runs alone-ish: gates on its path plus
+// the exit step. For the uniform-depth bitonic network every path has
+// the same length, which keeps scripts easy to write.
+func uniformSteps(net *network.Network) int {
+	return net.Depth() + 1
+}
+
+// TestCountingNetworksAreNotLinearizable constructs an explicit
+// execution witnessing the Section 6 discussion (c.f. Herlihy, Shavit &
+// Waarts): counting networks are quiescently consistent but not
+// linearizable. We exhibit tokens A and B such that A's Fetch&Increment
+// completes strictly before B's begins, yet B receives the smaller
+// value — impossible for a linearizable counter.
+//
+// Construction: a third token C enters first and stalls inside the
+// network, holding balancer state. A then runs to completion, B starts
+// after A has finished and also runs to completion. For some choice of
+// entry wires and stall depth, value(B) < value(A).
+func TestCountingNetworksAreNotLinearizable(t *testing.T) {
+	// Depth-1 networks (a single balancer, e.g. K(2,2)) ARE linearizable
+	// — see TestSingleBalancerIsLinearizable — so the candidates here
+	// are the multi-layer constructions.
+	nets := []*network.Network{}
+	if n, err := baseline.Bitonic(4); err == nil {
+		nets = append(nets, n)
+	}
+	if n, err := core.L(2, 2); err == nil {
+		nets = append(nets, n)
+	}
+	for _, net := range nets {
+		w := net.Width()
+		found := false
+		var report string
+		steps := uniformSteps(net)
+	search:
+		// Two stalled tokens C0, C1 (ids 0,1) hold balancer state while
+		// A (id 2) completes and then B (id 3) completes.
+		for c0 := 0; c0 < w; c0++ {
+			for c1 := 0; c1 < w; c1++ {
+				for s0 := 1; s0 < steps; s0++ {
+					for s1 := 1; s1 < steps; s1++ {
+						for ae := 0; ae < w; ae++ {
+							for be := 0; be < w; be++ {
+								var order []int
+								for i := 0; i < s0; i++ {
+									order = append(order, 0)
+								}
+								for i := 0; i < s1; i++ {
+									order = append(order, 1)
+								}
+								for i := 0; i < steps; i++ {
+									order = append(order, 2) // A runs to completion
+								}
+								for i := 0; i < steps; i++ {
+									order = append(order, 3) // B starts strictly after A exits
+								}
+								// C0, C1 finish afterwards (script drains FIFO).
+								res := Run(net, []int{c0, c1, ae, be}, &Script{Order: order})
+								vA := res.ExitRanks[2]*w + res.Exits[2]
+								vB := res.ExitRanks[3]*w + res.Exits[3]
+								if vB < vA {
+									found = true
+									report = "witness: stalled tokens enter wires " + itoa(c0) + "," + itoa(c1) +
+										" (stalling after " + itoa(s0) + "," + itoa(s1) + " steps); A enters wire " +
+										itoa(ae) + " and gets value " + itoa(vA) + "; B enters wire " + itoa(be) +
+										" strictly after A finishes and gets value " + itoa(vB)
+									break search
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s: no linearizability violation found (unexpected for depth > 1)", net.Name)
+		} else {
+			t.Logf("%s: %s", net.Name, report)
+		}
+	}
+}
+
+// TestSingleBalancerIsLinearizable: the width-p balancer alone (the
+// degenerate counting network) admits no such violation — tokens leave
+// it in arrival order, so the same exhaustive search over three-token
+// schedules must find nothing.
+func TestSingleBalancerIsLinearizable(t *testing.T) {
+	n, err := core.K(4) // one 4-balancer
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := n.Width()
+	steps := uniformSteps(n)
+	for ce := 0; ce < w; ce++ {
+		for ae := 0; ae < w; ae++ {
+			for be := 0; be < w; be++ {
+				for stall := 1; stall < steps; stall++ {
+					var order []int
+					for i := 0; i < stall; i++ {
+						order = append(order, 0)
+					}
+					for i := 0; i < steps; i++ {
+						order = append(order, 1)
+					}
+					for i := 0; i < steps; i++ {
+						order = append(order, 2)
+					}
+					res := Run(n, []int{ce, ae, be}, &Script{Order: order})
+					vA := res.ExitRanks[1]*w + res.Exits[1]
+					vB := res.ExitRanks[2]*w + res.Exits[2]
+					if vB < vA {
+						t.Fatalf("single balancer violated linearizability: C=%d stall=%d A=%d(v%d) B=%d(v%d)",
+							ce, stall, ae, vA, be, vB)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQuiescentConsistencyAlwaysHolds: whatever the schedule, once all
+// tokens have exited, the assigned values are exactly 0..N-1 — the
+// guarantee counting networks DO make.
+func TestQuiescentConsistencyAlwaysHolds(t *testing.T) {
+	net, err := baseline.Bitonic(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := net.Width()
+	steps := uniformSteps(net)
+	entries := []int{0, 2, 1, 3, 0, 0, 3}
+	// A pile of scripted interleavings plus the generic schedulers.
+	var scripts []Scheduler
+	for shift := 0; shift < steps; shift++ {
+		var order []int
+		for s := 0; s < steps; s++ {
+			for id := range entries {
+				order = append(order, (id+shift)%len(entries))
+			}
+		}
+		// Round-robin with rotation; invalid orders (picking finished
+		// tokens) cannot arise because all paths have equal length.
+		scripts = append(scripts, &Script{Order: order})
+	}
+	scripts = append(scripts, FIFO{}, LIFO{}, &RoundRobin{})
+	for _, sched := range scripts {
+		res := Run(net, entries, sched)
+		if !seq.IsStep(res.Counts) {
+			t.Fatalf("%s: counts %v not step", sched.Name(), res.Counts)
+		}
+		seen := make([]bool, len(entries))
+		for id := range entries {
+			v := res.ExitRanks[id]*w + res.Exits[id]
+			if v < 0 || v >= len(entries) || seen[v] {
+				t.Fatalf("%s: values not a permutation of 0..%d", sched.Name(), len(entries)-1)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

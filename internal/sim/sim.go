@@ -1,0 +1,246 @@
+// Package sim is a schedule-adversarial simulator for balancing
+// networks: tokens advance through one gate at a time, and a pluggable
+// Scheduler decides which token moves next. This models every possible
+// interleaving of an asynchronous execution at balancer granularity
+// (each balancer access is atomic, as in the shared-memory
+// implementations the paper targets).
+//
+// Its purpose is to validate the semantic foundation the rest of the
+// repository rests on: in a quiescent state the per-wire token counts of
+// a balancing network are schedule-independent — a balancer's output
+// counts depend only on how many tokens entered it, never on their
+// order — so the deterministic transfer function of
+// runner.ApplyTokens is exact for every schedule, including adversarial
+// ones. Individual token paths DO depend on the schedule; counts do not.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"countnet/internal/network"
+)
+
+// Scheduler picks which in-flight token advances next. ready holds the
+// indices of tokens still inside the network, in token-id order; Pick
+// returns a position within ready.
+type Scheduler interface {
+	Pick(ready []int) int
+	Name() string
+}
+
+// Random picks uniformly at random.
+type Random struct{ Rng *rand.Rand }
+
+// Pick implements Scheduler.
+func (s Random) Pick(ready []int) int { return s.Rng.Intn(len(ready)) }
+
+// Name implements Scheduler.
+func (Random) Name() string { return "random" }
+
+// FIFO always advances the oldest in-flight token: tokens effectively
+// run to completion in injection order (the serial schedule).
+type FIFO struct{}
+
+// Pick implements Scheduler.
+func (FIFO) Pick(ready []int) int { return 0 }
+
+// Name implements Scheduler.
+func (FIFO) Name() string { return "fifo" }
+
+// LIFO always advances the newest in-flight token: maximal overtaking.
+type LIFO struct{}
+
+// Pick implements Scheduler.
+func (LIFO) Pick(ready []int) int { return len(ready) - 1 }
+
+// Name implements Scheduler.
+func (LIFO) Name() string { return "lifo" }
+
+// RoundRobin cycles through the in-flight tokens, one gate each — the
+// lock-step schedule of a synchronous execution.
+type RoundRobin struct{ next int }
+
+// Pick implements Scheduler.
+func (s *RoundRobin) Pick(ready []int) int {
+	i := s.next % len(ready)
+	s.next++
+	return i
+}
+
+// Name implements Scheduler.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Laggard always advances the token that has traversed the fewest
+// gates, keeping the flight maximally spread out.
+type Laggard struct{ progress *[]int }
+
+// NewLaggard returns a Laggard scheduler bound to a Run.
+func NewLaggard() *Laggard { return &Laggard{} }
+
+// Pick implements Scheduler.
+func (s *Laggard) Pick(ready []int) int {
+	if s.progress == nil {
+		return 0
+	}
+	best, bestP := 0, int(^uint(0)>>1)
+	for i, id := range ready {
+		if (*s.progress)[id] < bestP {
+			best, bestP = i, (*s.progress)[id]
+		}
+	}
+	return best
+}
+
+// Name implements Scheduler.
+func (*Laggard) Name() string { return "laggard" }
+
+// Script advances tokens in an exact prescribed order: element k of
+// Order names the token that performs the k-th atomic step (a gate
+// traversal, or the final local-counter exit step). It panics if the
+// named token has already finished — that is a bug in the script.
+// Scripts are how directed executions (e.g. linearizability
+// counterexamples) are constructed.
+type Script struct {
+	Order []int
+	pos   int
+}
+
+// Pick implements Scheduler.
+func (s *Script) Pick(ready []int) int {
+	if s.pos >= len(s.Order) {
+		// Script exhausted: drain in FIFO order.
+		return 0
+	}
+	want := s.Order[s.pos]
+	s.pos++
+	for i, id := range ready {
+		if id == want {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("sim: script step %d names finished token %d", s.pos-1, want))
+}
+
+// Name implements Scheduler.
+func (*Script) Name() string { return "script" }
+
+// Result of a simulation run.
+type Result struct {
+	// Counts holds per-position exit counts in output order.
+	Counts []int64
+	// Exits holds each token's exit position, indexed by token id.
+	Exits []int
+	// ExitRanks holds, per token, how many tokens exited on the same
+	// wire before it. Combined with Exits this yields the
+	// Fetch&Increment value a counting-network counter would assign:
+	// value = ExitRanks[i]*width + Exits[i].
+	ExitRanks []int
+	// Steps is the total number of gate traversals performed.
+	Steps int
+}
+
+// PathStep records one gate traversal of one token.
+type PathStep struct {
+	Gate    int // gate ID
+	Rank    int // arrival rank at that gate (0-based)
+	InWire  int // wire the token arrived on
+	OutWire int // wire the token left on
+}
+
+// RunTraced is Run with full per-token path recording: paths[i] lists
+// token i's gate traversals in order. It shares Run's semantics.
+func RunTraced(net *network.Network, entries []int, sched Scheduler) (Result, [][]PathStep) {
+	paths := make([][]PathStep, len(entries))
+	res := run(net, entries, sched, paths)
+	return res, paths
+}
+
+// Run injects one token per entry in entries (token id = slice index)
+// and drives them through the network under the scheduler until all
+// exit. It panics on out-of-range entry wires.
+func Run(net *network.Network, entries []int, sched Scheduler) Result {
+	return run(net, entries, sched, nil)
+}
+
+func run(net *network.Network, entries []int, sched Scheduler, paths [][]PathStep) Result {
+	w := net.Width()
+	wireGates := net.WireGates()
+	// next[w][k] -> gate list per wire; token state: wire + slot into
+	// that wire's gate list.
+	type tokState struct {
+		wire int
+		slot int
+		done bool
+	}
+	toks := make([]tokState, len(entries))
+	for i, e := range entries {
+		if e < 0 || e >= w {
+			panic(fmt.Sprintf("sim: token %d enters on wire %d outside width %d", i, e, w))
+		}
+		toks[i] = tokState{wire: e}
+	}
+	gateSeen := make([]int, net.Size())
+	progress := make([]int, len(entries))
+	if lg, ok := sched.(*Laggard); ok {
+		lg.progress = &progress
+	}
+
+	ready := make([]int, 0, len(entries))
+	for i := range toks {
+		ready = append(ready, i)
+	}
+	steps := 0
+	rankOnWire := make([]int, w)
+	exitRanks := make([]int, len(entries))
+	for len(ready) > 0 {
+		pick := sched.Pick(ready)
+		id := ready[pick]
+		tk := &toks[id]
+		if tk.slot >= len(wireGates[tk.wire]) {
+			// Exited: the local-counter access is itself a schedulable
+			// atomic step, so the exit rank is taken now. Remove from
+			// ready (preserving order for FIFO/LIFO).
+			ready = append(ready[:pick], ready[pick+1:]...)
+			tk.done = true
+			exitRanks[id] = rankOnWire[tk.wire]
+			rankOnWire[tk.wire]++
+			continue
+		}
+		gid := wireGates[tk.wire][tk.slot]
+		g := &net.Gates[gid]
+		rank := gateSeen[gid]
+		gateSeen[gid]++
+		out := g.Wires[rank%g.Width()]
+		if paths != nil {
+			paths[id] = append(paths[id], PathStep{Gate: gid, Rank: rank, InWire: tk.wire, OutWire: out})
+		}
+		// Continue after this gate on the output wire.
+		pos := 0
+		for k, id2 := range wireGates[out] {
+			if id2 == gid {
+				pos = k + 1
+				break
+			}
+		}
+		tk.wire, tk.slot = out, pos
+		progress[id]++
+		steps++
+	}
+
+	wireCounts := make([]int64, w)
+	exits := make([]int, len(entries))
+	posOf := make(map[int]int, w)
+	for pos, wire := range net.OutputOrder {
+		posOf[wire] = pos
+	}
+	for i := range toks {
+		wireCounts[toks[i].wire]++
+		exits[i] = posOf[toks[i].wire]
+	}
+	counts := make([]int64, w)
+	for pos, wire := range net.OutputOrder {
+		counts[pos] = wireCounts[wire]
+	}
+	return Result{Counts: counts, Exits: exits, ExitRanks: exitRanks, Steps: steps}
+}

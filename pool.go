@@ -1,0 +1,44 @@
+package countnet
+
+import "countnet/internal/pool"
+
+// Pool is a concurrent unordered producer/consumer collection built on
+// two counting networks (one spreading insertions, one removals over
+// per-slot buffers): every item Put is returned by exactly one Get,
+// and contention spreads across the networks' balancers and the slot
+// locks instead of one central lock.
+type Pool[T any] struct {
+	inner *pool.Pool[T]
+}
+
+// NewPool builds a Pool over the given counting network; the network's
+// width sets the number of buffer slots.
+func NewPool[T any](n *Network) *Pool[T] {
+	return &Pool[T]{inner: pool.New[T](n.inner)}
+}
+
+// Put inserts an item (shared dispatcher; use a Handle in tight loops).
+func (p *Pool[T]) Put(item T) { p.inner.Put(item) }
+
+// Get removes and returns an item, blocking until one is available.
+func (p *Pool[T]) Get() T { return p.inner.Get() }
+
+// Len reports the number of buffered, unconsumed items (exact at
+// quiescence).
+func (p *Pool[T]) Len() int { return p.inner.Len() }
+
+// PoolHandle is a single-goroutine view of a Pool.
+type PoolHandle[T any] struct {
+	inner *pool.Handle[T]
+}
+
+// Handle returns a goroutine-local view; pass the worker index as id.
+func (p *Pool[T]) Handle(id int) *PoolHandle[T] {
+	return &PoolHandle[T]{inner: p.inner.Handle(id)}
+}
+
+// Put inserts an item.
+func (h *PoolHandle[T]) Put(item T) { h.inner.Put(item) }
+
+// Get removes and returns an item, blocking until one is available.
+func (h *PoolHandle[T]) Get() T { return h.inner.Get() }

@@ -1,0 +1,58 @@
+package countnet
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolFacade(t *testing.T) {
+	n, err := NewL(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool[int](n)
+	const workers, per = 3, 500
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := p.Handle(g)
+			for i := 0; i < per; i++ {
+				h.Put(g*per + i)
+			}
+		}(g)
+	}
+	got := make(chan int, workers*per)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := p.Handle(workers + g)
+			for i := 0; i < per; i++ {
+				got <- h.Get()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(got)
+	seen := make([]bool, workers*per)
+	for v := range got {
+		if seen[v] {
+			t.Fatalf("item %d twice", v)
+		}
+		seen[v] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("item %d lost", v)
+		}
+	}
+	if p.Len() != 0 {
+		t.Errorf("Len = %d", p.Len())
+	}
+	p.Put(42)
+	if p.Len() != 1 || p.Get() != 42 {
+		t.Error("shared Put/Get round trip failed")
+	}
+}

@@ -1,0 +1,102 @@
+package countnet
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestBatchSorter(t *testing.T) {
+	n, err := NewL(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewBatchSorter(n)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		in := make([]int64, 6)
+		for i := range in {
+			in[i] = int64(rng.Intn(100))
+		}
+		want := append([]int64(nil), in...)
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		got := s.Sort(in)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("BatchSorter.Sort(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestSortStream(t *testing.T) {
+	n, err := NewK(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batches = 50
+	in := make(chan []int64)
+	rng := rand.New(rand.NewSource(2))
+	wants := make([][]int64, batches)
+	go func() {
+		defer close(in)
+		for k := 0; k < batches; k++ {
+			batch := make([]int64, 8)
+			for i := range batch {
+				batch[i] = int64(rng.Intn(1000))
+			}
+			sorted := append([]int64(nil), batch...)
+			sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+			wants[k] = sorted
+			in <- batch
+		}
+	}()
+	k := 0
+	for got := range n.SortStream(in) {
+		if !reflect.DeepEqual(got, wants[k]) {
+			t.Fatalf("batch %d: %v, want %v", k, got, wants[k])
+		}
+		k++
+	}
+	if k != batches {
+		t.Fatalf("received %d batches, want %d", k, batches)
+	}
+}
+
+func TestSortBatchesFacade(t *testing.T) {
+	n, err := NewL(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	batches := make([][]int64, 25)
+	for i := range batches {
+		batches[i] = make([]int64, 6)
+		for j := range batches[i] {
+			batches[i][j] = int64(rng.Intn(50))
+		}
+	}
+	if err := n.SortBatches(batches, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range batches {
+		if !sort.SliceIsSorted(b, func(x, y int) bool { return b[x] < b[y] }) {
+			t.Fatalf("batch %d not ascending: %v", i, b)
+		}
+	}
+	if err := n.SortBatches([][]int64{{1}}, 1); err == nil {
+		t.Error("short batch accepted")
+	}
+}
+
+func TestSortStreamEmpty(t *testing.T) {
+	n, _ := NewK(2, 2)
+	in := make(chan []int64)
+	close(in)
+	count := 0
+	for range n.SortStream(in) {
+		count++
+	}
+	if count != 0 {
+		t.Errorf("empty stream produced %d batches", count)
+	}
+}

@@ -1,0 +1,127 @@
+package countnet
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestEndToEndSystem exercises the whole public surface against one
+// network, the way a downstream adopter would: build, verify, sort
+// (three ways), count, serialize, trace, then run the concurrency
+// primitives together.
+func TestEndToEndSystem(t *testing.T) {
+	net, err := NewL(3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Width() != 12 || net.MaxBalancerWidth() > 3 {
+		t.Fatalf("unexpected structure: %v", net)
+	}
+	if err := net.VerifyCounting(42); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.VerifySorting(42); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sorting, three ways, one answer.
+	in := []int64{11, 3, 7, 0, 9, 5, 2, 10, 8, 1, 6, 4}
+	want := append([]int64(nil), in...)
+	sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+
+	direct, err := net.Sort(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := NewBatchSorter(net)
+	reused := append([]int64(nil), bs.Sort(in)...)
+	batch := [][]int64{append([]int64(nil), in...)}
+	if err := net.SortBatches(batch, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if direct[i] != want[i] || reused[i] != want[i] || batch[0][i] != want[i] {
+			t.Fatalf("sorters disagree at %d: %v %v %v want %v", i, direct, reused, batch[0], want)
+		}
+	}
+
+	// Counting: serialize, reload, count through the clone.
+	data, err := json.Marshal(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clone Network
+	if err := json.Unmarshal(data, &clone); err != nil {
+		t.Fatal(err)
+	}
+	tokens := make([]int64, 12)
+	tokens[5] = 25
+	a, _ := net.Step(tokens)
+	b, _ := clone.Step(tokens)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("clone disagrees: %v vs %v", a, b)
+		}
+	}
+
+	// Concurrency: counter + pool + barrier cooperating.
+	const workers, items = 4, 300
+	ctr := NewCounter(net)
+	pool := NewPool[int64](net)
+	bar := NewBarrier(net, workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var produced, consumed []int64
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := ctr.Handle(g)
+			ph := pool.Handle(g)
+			var local []int64
+			for i := 0; i < items; i++ {
+				v := h.Next()
+				local = append(local, v)
+				ph.Put(v)
+			}
+			bar.Await() // everyone produced
+			var got []int64
+			for i := 0; i < items; i++ {
+				got = append(got, ph.Get())
+			}
+			bar.Await() // everyone consumed
+			mu.Lock()
+			produced = append(produced, local...)
+			consumed = append(consumed, got...)
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+
+	sort.Slice(produced, func(a, b int) bool { return produced[a] < produced[b] })
+	sort.Slice(consumed, func(a, b int) bool { return consumed[a] < consumed[b] })
+	for i := range produced {
+		if produced[i] != int64(i) {
+			t.Fatalf("counter values not gap-free at %d: %d", i, produced[i])
+		}
+		if consumed[i] != produced[i] {
+			t.Fatalf("pool lost/duplicated values at %d: %d vs %d", i, consumed[i], produced[i])
+		}
+	}
+	if pool.Len() != 0 {
+		t.Errorf("pool not drained: %d", pool.Len())
+	}
+
+	// Tooling surfaces produce something sensible.
+	if tr, err := net.TraceTokens([]int{0, 11}); err != nil || tr == "" {
+		t.Errorf("trace: %v", err)
+	}
+	if d := net.Diagram(); d == "" {
+		t.Error("diagram empty")
+	}
+	if txt := net.FormatText(); txt == "" {
+		t.Error("text format empty")
+	}
+}
