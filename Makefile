@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench fuzz vet fmt experiments examples clean
+.PHONY: all build test race short bench fuzz soak vet fmt experiments examples clean
 
 all: build vet test
 
@@ -16,13 +16,13 @@ fmt:
 	gofmt -l -w .
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/runner ./internal/counter ./internal/sim .
+	$(GO) test -race ./internal/sched ./internal/runner ./internal/counter ./internal/sim ./internal/pool .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -32,6 +32,13 @@ fuzz:
 	$(GO) test -fuzz=FuzzApplyTokensStep -fuzztime=30s ./internal/runner
 	$(GO) test -fuzz=FuzzComparatorsSort -fuzztime=30s ./internal/runner
 	$(GO) test -fuzz=FuzzJSONUnmarshal -fuzztime=30s ./internal/network
+	$(GO) test -run '^$$' -fuzz=FuzzCounterSchedules -fuzztime=30s ./internal/counter
+	$(GO) test -run '^$$' -fuzz=FuzzPoolSchedules -fuzztime=30s ./internal/pool
+
+# Nightly-scale schedule exploration (see docs/TESTING.md).
+soak:
+	$(GO) test -tags soak -run Soak -timeout 20m -v ./internal/sched
+	$(GO) test -run Soak -timeout 20m ./internal/core
 
 experiments:
 	$(GO) run ./cmd/experiments

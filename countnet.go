@@ -28,7 +28,6 @@ package countnet
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 
 	"countnet/internal/baseline"
@@ -206,16 +205,19 @@ func (n *Network) Step(tokens []int64) ([]int64, error) {
 
 // VerifyCounting runs the repository's counting-network battery
 // (bounded-exhaustive and randomized step-property checks plus a serial
-// cross-check) and returns the first violation found, or nil.
+// cross-check) and returns the first violation found, or nil. Failures
+// name the offending input, the random trial, and the seed — the error
+// message alone is a one-line repro.
 func (n *Network) VerifyCounting(seed int64) error {
-	return verify.IsCountingNetwork(n.inner, rand.New(rand.NewSource(seed)))
+	return verify.IsCountingNetworkSeeded(n.inner, seed)
 }
 
 // VerifySorting runs the sorting battery (exhaustive 0-1 principle up
 // to width 20, randomized beyond) and returns the first violation
-// found, or nil.
+// found, or nil. Failure messages are one-line repros; see
+// VerifyCounting.
 func (n *Network) VerifySorting(seed int64) error {
-	return verify.IsSortingNetwork(n.inner, rand.New(rand.NewSource(seed)))
+	return verify.IsSortingNetworkSeeded(n.inner, seed)
 }
 
 // FormatText renders the network in the compact layer notation of the

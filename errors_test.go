@@ -1,0 +1,100 @@
+package countnet
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestConstructorErrorPaths pins the public constructors' rejection of
+// malformed factorizations: no factors, factors below 2, negatives —
+// each must return a descriptive error naming the offending factor,
+// never panic or hand back a half-built network.
+func TestConstructorErrorPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		build   func() (*Network, error)
+		wantSub string
+	}{
+		{"NewK no factors", func() (*Network, error) { return NewK() }, "empty factorization"},
+		{"NewL no factors", func() (*Network, error) { return NewL() }, "empty factorization"},
+		{"NewK factor 1", func() (*Network, error) { return NewK(1, 2) }, "p0 = 1"},
+		{"NewK factor 0", func() (*Network, error) { return NewK(0, 3) }, "p0 = 0"},
+		{"NewL negative factor", func() (*Network, error) { return NewL(-2, 2) }, "p0 = -2"},
+		{"NewL factor 1 mid-list", func() (*Network, error) { return NewL(2, 1, 3) }, "p1 = 1"},
+		{"NewR p below 2", func() (*Network, error) { return NewR(1, 3) }, "p0 = 1"},
+		{"NewR q below 2", func() (*Network, error) { return NewR(3, 1) }, "p1 = 1"},
+		{"NewR both zero", func() (*Network, error) { return NewR(0, 0) }, "p0 = 0"},
+	}
+	for _, tc := range cases {
+		n, err := tc.build()
+		if err == nil {
+			t.Errorf("%s: accepted, built %s", tc.name, n)
+			continue
+		}
+		if n != nil {
+			t.Errorf("%s: non-nil network alongside error %v", tc.name, err)
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not name the offense (%q)", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+// TestSingleFactorConstructors: n = 1 is a legal edge case — K(p) and
+// L(p) degenerate to a single p-balancer of depth 1 that both counts
+// and sorts.
+func TestSingleFactorConstructors(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func() (*Network, error)
+		width int
+	}{
+		{"K(2)", func() (*Network, error) { return NewK(2) }, 2},
+		{"L(2)", func() (*Network, error) { return NewL(2) }, 2},
+		{"L(5)", func() (*Network, error) { return NewL(5) }, 5},
+	} {
+		n, err := tc.build()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if n.Width() != tc.width || n.Depth() != 1 || n.Size() != 1 {
+			t.Errorf("%s: got %s, want single balancer of width %d", tc.name, n, tc.width)
+		}
+		if err := n.VerifyCounting(3); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+		if err := n.VerifySorting(3); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+}
+
+// TestSortBatchesWrongWidthMidSlice: a malformed batch anywhere in the
+// slice must fail fast, name the offending index, and leave every
+// batch untouched — validation happens before any sorting starts.
+func TestSortBatchesWrongWidthMidSlice(t *testing.T) {
+	n, err := NewK(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := [][]int64{
+		{3, 1, 2, 0},
+		{9, 8, 7}, // wrong width
+		{4, 6, 5, 7},
+	}
+	orig := make([][]int64, len(batches))
+	for i, b := range batches {
+		orig[i] = append([]int64(nil), b...)
+	}
+	err = n.SortBatches(batches, 2)
+	if err == nil {
+		t.Fatal("wrong-width batch accepted")
+	}
+	if !strings.Contains(err.Error(), "batch 1") {
+		t.Errorf("error %q does not name batch 1", err)
+	}
+	if !reflect.DeepEqual(batches, orig) {
+		t.Errorf("batches mutated despite validation error: %v", batches)
+	}
+}

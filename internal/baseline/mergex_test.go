@@ -35,8 +35,8 @@ func TestMergeExchangeSortsAllWidths(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if bad := verify.SortsRandom(n, 300, rng); bad != nil {
-			t.Errorf("MergeExchange(%d) fails to sort %v", w, bad)
+		if bad, trial := verify.SortsRandom(n, 300, rng); bad != nil {
+			t.Errorf("MergeExchange(%d) fails to sort %v (trial %d)", w, bad, trial)
 		}
 	}
 }

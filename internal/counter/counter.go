@@ -14,6 +14,7 @@
 package counter
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -86,6 +87,26 @@ func (c *NetworkCounter) nextOn(wire int) int64 {
 	}
 	k := c.locals[pos].v.Add(1) - 1
 	return k*int64(c.width) + int64(pos)
+}
+
+// NextOnHooked issues a value entering on the given wire with schedule
+// instrumentation: yield runs immediately before every atomic step (each
+// balancer access and the local-counter fetch). Hooked traversal always
+// uses the atomic balancers. For package sched; do not mix with
+// unhooked calls within one controlled run.
+func (c *NetworkCounter) NextOnHooked(wire int, yield func(op string)) int64 {
+	pos := c.async.TraverseHooked(wire, yield)
+	yield(fmt.Sprintf("local %d", pos))
+	k := c.locals[pos].v.Add(1) - 1
+	return k*int64(c.width) + int64(pos)
+}
+
+// NextHooked is Next with schedule instrumentation (see NextOnHooked);
+// the shared entry-dispatch fetch-and-add is itself a yield point.
+func (c *NetworkCounter) NextHooked(yield func(op string)) int64 {
+	yield("entry dispatch")
+	wire := int((c.entry.Add(1) - 1) % int64(c.width))
+	return c.NextOnHooked(wire, yield)
 }
 
 // Handle returns a goroutine-local view whose entry wires cycle

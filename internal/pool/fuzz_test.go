@@ -1,0 +1,36 @@
+package pool_test
+
+import (
+	"testing"
+
+	"countnet/internal/core"
+	"countnet/internal/sched"
+)
+
+// FuzzPoolSchedules decodes arbitrary byte strings into interleavings
+// of a balanced producer/consumer workload (internal/sched
+// ByteDecoder) and checks exactly-once delivery at quiescence. With
+// puts and gets balanced, both counting networks issue the same
+// gap-free value set, so every take eventually unblocks: a deadlock or
+// step-budget error is as much a bug as a lost or duplicated item.
+func FuzzPoolSchedules(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{3, 3, 3, 0, 0, 0})
+	f.Add([]byte{250, 1, 250, 1, 250, 1, 250, 1, 250})
+	net, err := core.K(2, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	sys := sched.PoolSystem(net, 2, 2)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tasks, check := sys()
+		tr, err := sched.Run(&sched.ByteDecoder{Data: data}, 30_000, tasks)
+		if err == nil {
+			err = check(tr)
+		}
+		if err != nil {
+			t.Fatalf("schedule bytes %x: %v", data, err)
+		}
+	})
+}

@@ -14,6 +14,7 @@
 package pool
 
 import (
+	"fmt"
 	"sync"
 
 	"countnet/internal/counter"
@@ -116,6 +117,35 @@ func (p *Pool[T]) getAt(v int64) T {
 	b.taken++
 	b.mu.Unlock()
 	return item
+}
+
+// PutHooked is Put with schedule instrumentation: yield runs before
+// every atomic step (counter-network accesses and the buffer append).
+// For package sched; do not mix with unhooked calls in one controlled
+// run.
+func (p *Pool[T]) PutHooked(item T, yield func(op string)) {
+	v := p.put.NextHooked(yield)
+	yield(fmt.Sprintf("append buf %d", v%int64(p.width)))
+	p.putAt(v, item)
+}
+
+// GetHooked is Get with schedule instrumentation. Instead of blocking
+// on the buffer's condition variable it parks through block: the
+// controlled scheduler re-evaluates the readiness predicate (under the
+// buffer lock) whenever it needs a runnable task, so a schedule in
+// which the item never arrives is reported as a deadlock rather than a
+// hang.
+func (p *Pool[T]) GetHooked(yield func(op string), block func(op string, ready func() bool)) T {
+	v := p.get.NextHooked(yield)
+	b := &p.bufs[v%int64(p.width)]
+	rank := int(v / int64(p.width))
+	block(fmt.Sprintf("take buf %d rank %d", v%int64(p.width), rank), func() bool {
+		b.mu.Lock()
+		ok := len(b.items) > rank
+		b.mu.Unlock()
+		return ok
+	})
+	return p.getAt(v)
 }
 
 // Len reports the number of items currently buffered and unconsumed

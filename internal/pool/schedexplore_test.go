@@ -1,0 +1,82 @@
+// Schedule-exploration property suite for the shared pool: real
+// Put/Get paths (two counting networks plus per-buffer queues) run
+// under controlled interleavings, and every item must be delivered
+// exactly once. Lives in package pool_test because sched imports pool.
+package pool_test
+
+import (
+	"strings"
+	"testing"
+
+	"countnet/internal/core"
+	"countnet/internal/pool"
+	"countnet/internal/sched"
+)
+
+// TestPoolExactlyOnceUnderExploredSchedules: random and
+// bounded-preemption DFS exploration of balanced producer/consumer
+// workloads. Blocked getters park through the scheduler, so schedules
+// where a getter overtakes its matching putter are fully covered
+// (the getter resumes only once its slot is filled).
+func TestPoolExactlyOnceUnderExploredSchedules(t *testing.T) {
+	net, err := core.K(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := sched.PoolSystem(net, 2, 2) // 2 producers + 2 consumers, 2 items each
+	if rep := sched.ExploreRandom(sys, 0xbeef, 150, 30_000); rep.Failure != nil {
+		t.Errorf("random: %s", rep.Failure)
+	}
+	if rep := sched.ExploreDFS(sys, 1, 20_000, 30_000); rep.Failure != nil {
+		t.Errorf("dfs: %s", rep.Failure)
+	}
+}
+
+// TestPoolUnbalancedGetDeadlocksDeterministically: one more Get than
+// Put must surface as a deterministic deadlock report naming the
+// blocked take, never a hang.
+func TestPoolUnbalancedGetDeadlocksDeterministically(t *testing.T) {
+	net, err := core.K(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pool.New[string](net)
+	tasks := []sched.TaskFunc{
+		func(y *sched.Yield) { p.PutHooked("only", y.Step) },
+		func(y *sched.Yield) { p.GetHooked(y.Step, y.Block) },
+		func(y *sched.Yield) { p.GetHooked(y.Step, y.Block) },
+	}
+	_, err = sched.Run(sched.NewRandomWalk(42), 10_000, tasks)
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want deadlock, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "take buf") {
+		t.Fatalf("deadlock report does not name the blocked take: %v", err)
+	}
+}
+
+// TestPoolHookedAgreesWithPlain: hooked and plain pools deliver the
+// same item set in a serial schedule.
+func TestPoolHookedAgreesWithPlain(t *testing.T) {
+	net, err := core.K(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pool.New[int](net)
+	noop := func(string) {}
+	noblock := func(_ string, ready func() bool) {
+		if !ready() {
+			t.Fatal("serial get blocked")
+		}
+	}
+	for i := 0; i < 6; i++ {
+		p.PutHooked(i, noop)
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < 6; i++ {
+		seen[p.GetHooked(noop, noblock)] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("serial hooked pool lost items: %v", seen)
+	}
+}

@@ -101,6 +101,29 @@ func (a *Async) Traverse(entryWire int) int {
 	return int(a.outPos[wire])
 }
 
+// TraverseHooked is Traverse instrumented for controlled scheduling:
+// yield is called immediately before every atomic balancer access, so
+// a scheduler that serializes its tasks (package sched) fully
+// determines the interleaving of balancer operations. It shares the
+// atomic balancer state with Traverse; do not mix hooked and unhooked
+// traversals within one controlled run.
+func (a *Async) TraverseHooked(entryWire int, yield func(op string)) int {
+	if entryWire < 0 || entryWire >= a.width {
+		panic(fmt.Sprintf("runner: entry wire %d outside width %d", entryWire, a.width))
+	}
+	wire := int32(entryWire)
+	gid := a.entry[wire]
+	for gid >= 0 {
+		g := &a.gates[gid]
+		yield(fmt.Sprintf("gate %d", gid))
+		i := g.count.Add(1) - 1
+		port := i % g.width
+		wire = g.wires[port]
+		gid = g.next[port]
+	}
+	return int(a.outPos[wire])
+}
+
 // TraverseMutex is Traverse with lock-based balancers. The two modes
 // share no state; do not mix them on one Async instance within a run.
 func (a *Async) TraverseMutex(entryWire int) int {

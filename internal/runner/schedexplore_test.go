@@ -1,0 +1,66 @@
+// Schedule-exploration property suite for the real async traversal:
+// internal/sched serializes Async.TraverseHooked goroutines at every
+// balancer access and checks the paper's quiescent guarantees over
+// many adversarial interleavings. Lives in package runner_test because
+// sched imports runner.
+package runner_test
+
+import (
+	"testing"
+
+	"countnet/internal/baseline"
+	"countnet/internal/core"
+	"countnet/internal/network"
+	"countnet/internal/runner"
+	"countnet/internal/sched"
+)
+
+// TestAsyncStepPropertyUnderExploredSchedules: for every explored
+// interleaving of real concurrent traversals, the quiescent exit
+// counts satisfy the step property and match the transfer function.
+func TestAsyncStepPropertyUnderExploredSchedules(t *testing.T) {
+	nets := map[string]*network.Network{}
+	if n, err := core.K(2, 2); err == nil {
+		nets["K(2,2)"] = n
+	}
+	if n, err := core.R(2, 3); err == nil {
+		nets["R(2,3)"] = n
+	}
+	if n, err := baseline.Bitonic(4); err == nil {
+		nets["bitonic4"] = n
+	}
+	for name, net := range nets {
+		// Skewed load: two tokens on wire 0, one on the last wire.
+		entries := []int{0, 0, net.Width() - 1}
+		sys := sched.TokenSystem(net, entries)
+		if rep := sched.ExploreRandom(sys, 0xc0de, 200, 10_000); rep.Failure != nil {
+			t.Errorf("%s random: %s", name, rep.Failure)
+		}
+		if rep := sched.ExploreDFS(sys, 2, 50_000, 10_000); rep.Failure != nil {
+			t.Errorf("%s dfs: %s", name, rep.Failure)
+		} else {
+			t.Logf("%s: DFS covered %d schedules (preemption bound 2)", name, rep.Schedules)
+		}
+	}
+}
+
+// TestAsyncHookedAgreesWithTraverse: the instrumented traversal is the
+// same machine as the production one — a serial hooked run and a
+// serial plain run land every token on the same exit.
+func TestAsyncHookedAgreesWithTraverse(t *testing.T) {
+	net, err := baseline.Bitonic(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := runner.Compile(net)
+	hooked := runner.Compile(net)
+	noop := func(string) {}
+	for i := 0; i < 3*net.Width(); i++ {
+		wire := i % net.Width()
+		p := plain.Traverse(wire)
+		h := hooked.TraverseHooked(wire, noop)
+		if p != h {
+			t.Fatalf("token %d on wire %d: plain exit %d, hooked exit %d", i, wire, p, h)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package sched
+
+import "fmt"
+
+// System builds a fresh instance of the system under test for one
+// schedule: the tasks to run plus an invariant check evaluated at
+// quiescence (after every task finished). Explorers call it once per
+// schedule so no state leaks between interleavings.
+type System func() (tasks []TaskFunc, check func(tr *Trace) error)
+
+// Failure describes one failing interleaving.
+type Failure struct {
+	Err     error  // the invariant violation or deadlock
+	Trace   *Trace // the schedule that produced it
+	Seed    uint64 // per-schedule seed when the strategy was seeded
+	HasSeed bool
+}
+
+// String renders the failure with its one-line repro.
+func (f *Failure) String() string {
+	repro := fmt.Sprintf("replay choices %v", f.Trace.Choices)
+	if f.HasSeed {
+		repro = fmt.Sprintf("replay seed %#x (or choices %v)", f.Seed, f.Trace.Choices)
+	}
+	return fmt.Sprintf("%v\n%s\nschedule:\n%s", f.Err, repro, f.Trace)
+}
+
+// Report summarizes an exploration.
+type Report struct {
+	Schedules int      // schedules actually executed
+	Failure   *Failure // nil if every schedule satisfied the invariants
+}
+
+// runOnce executes one schedule of a fresh system instance.
+func runOnce(sys System, strat Strategy, maxSteps int) (*Trace, error) {
+	tasks, check := sys()
+	tr, err := Run(strat, maxSteps, tasks)
+	if err == nil {
+		err = check(tr)
+	}
+	return tr, err
+}
+
+// Mix derives the per-schedule seed for round i of ExploreRandom from
+// the exploration seed (splitmix64): printing the mixed seed is enough
+// to reproduce that single schedule via ReplaySeed.
+func Mix(seed uint64, i int) uint64 {
+	z := seed + uint64(i)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// ExploreRandom runs schedules seeded random-walk interleavings of the
+// system and stops at the first invariant violation or deadlock. Seeds
+// are derived per schedule with Mix, so a reported failure replays
+// from its single printed seed.
+func ExploreRandom(sys System, seed uint64, schedules, maxSteps int) Report {
+	for i := 0; i < schedules; i++ {
+		sub := Mix(seed, i)
+		tr, err := runOnce(sys, NewRandomWalk(sub), maxSteps)
+		if err != nil {
+			return Report{Schedules: i + 1, Failure: &Failure{Err: err, Trace: tr, Seed: sub, HasSeed: true}}
+		}
+	}
+	return Report{Schedules: schedules}
+}
+
+// ExplorePCT is ExploreRandom with the PCT priority scheduler, which
+// concentrates probability on low-depth bugs. tasksHint must match the
+// number of tasks the system builds; depth is the bug depth to target
+// (2 or 3 covers most races).
+func ExplorePCT(sys System, seed uint64, schedules, maxSteps, tasksHint, depth int) Report {
+	for i := 0; i < schedules; i++ {
+		sub := Mix(seed, i)
+		tr, err := runOnce(sys, NewPCT(sub, tasksHint, maxSteps, depth), maxSteps)
+		if err != nil {
+			return Report{Schedules: i + 1, Failure: &Failure{Err: err, Trace: tr, Seed: sub, HasSeed: true}}
+		}
+	}
+	return Report{Schedules: schedules}
+}
+
+// ReplaySeed re-executes the single random-walk schedule identified by
+// a mixed seed (as printed in a Failure).
+func ReplaySeed(sys System, seed uint64, maxSteps int) (*Trace, error) {
+	return runOnce(sys, NewRandomWalk(seed), maxSteps)
+}
+
+// ReplayChoices re-executes the schedule denoted by a choice list.
+func ReplayChoices(sys System, choices []int, maxSteps int) (*Trace, error) {
+	return runOnce(sys, &Replay{Choices: choices}, maxSteps)
+}
+
+// ExploreDFS walks the schedule tree exhaustively (bounded by
+// maxPreemptions forced switches per schedule) up to maxSchedules
+// schedules. With a sufficient budget this *proves* the invariants
+// over the whole bounded tree for small configurations; Report.Failure
+// is nil and Report.Schedules < maxSchedules iff the tree was
+// exhausted without a violation.
+func ExploreDFS(sys System, maxPreemptions, maxSchedules, maxSteps int) Report {
+	d := &DFS{MaxPreemptions: maxPreemptions}
+	for i := 0; i < maxSchedules; i++ {
+		tr, err := runOnce(sys, d, maxSteps)
+		if err != nil {
+			return Report{Schedules: i + 1, Failure: &Failure{Err: err, Trace: tr}}
+		}
+		if !d.Next() {
+			return Report{Schedules: i + 1}
+		}
+	}
+	return Report{Schedules: maxSchedules}
+}
+
+// Shrink minimizes a failing schedule: it greedily truncates the
+// choice list (Replay completes any prefix with the non-preempting
+// default) and flattens context switches, re-running the system after
+// each candidate edit and keeping it only if some failure persists.
+// It returns the minimized failure; budget caps the number of
+// re-executions.
+func Shrink(sys System, f *Failure, maxSteps, budget int) *Failure {
+	choices := append([]int(nil), f.Trace.Choices...)
+	fails := func(cs []int) (*Trace, error) {
+		tr, err := ReplayChoices(sys, cs, maxSteps)
+		return tr, err
+	}
+	best := f
+	spent := 0
+	// Pass 1: binary-search the shortest failing prefix.
+	lo, hi := 0, len(choices)
+	for lo < hi && spent < budget {
+		mid := (lo + hi) / 2
+		spent++
+		if tr, err := fails(choices[:mid]); err != nil {
+			hi = mid
+			best = &Failure{Err: err, Trace: tr}
+		} else {
+			lo = mid + 1
+		}
+	}
+	choices = choices[:hi]
+	// Pass 2: flatten context switches until a fixpoint.
+	for changed := true; changed && spent < budget; {
+		changed = false
+		for i := 1; i < len(choices) && spent < budget; i++ {
+			if choices[i] == choices[i-1] {
+				continue
+			}
+			cand := append([]int(nil), choices...)
+			cand[i] = cand[i-1]
+			spent++
+			if tr, err := fails(cand); err != nil {
+				choices = cand
+				best = &Failure{Err: err, Trace: tr}
+				changed = true
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,165 @@
+// This file binds the controlled scheduler to the repository's real
+// concurrent substrates, with invariant checks evaluated at
+// quiescence. Each System builds fresh substrate state per schedule,
+// so explorers and the shrinker can re-run interleavings at will.
+
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"countnet/internal/counter"
+	"countnet/internal/network"
+	"countnet/internal/pool"
+	"countnet/internal/runner"
+	"countnet/internal/seq"
+	"countnet/internal/sim"
+)
+
+// TokenSystem drives one token per listed entry wire through a fresh
+// runner.Async compile of net (atomic fetch-and-add balancers, the
+// real concurrent traversal code). At quiescence it checks the two
+// properties the paper guarantees for counting networks:
+//
+//   - the step property of the per-position exit counts, and
+//   - quiescent consistency: the counts equal the schedule-independent
+//     transfer function runner.ApplyTokens — every interleaving must
+//     land on the same quiescent state.
+//
+// Failures embed the token paths of the offending schedule rendered
+// via internal/sim, so a violation reads like the paper's Figure 3.
+func TokenSystem(net *network.Network, entries []int) System {
+	w := net.Width()
+	in := make([]int64, w)
+	for _, e := range entries {
+		in[e]++
+	}
+	want := runner.ApplyTokens(net, in)
+	return func() ([]TaskFunc, func(tr *Trace) error) {
+		a := runner.Compile(net)
+		counts := make([]int64, w)
+		tasks := make([]TaskFunc, len(entries))
+		for i := range entries {
+			e := entries[i]
+			tasks[i] = func(y *Yield) {
+				pos := a.TraverseHooked(e, y.Step)
+				y.Step("exit")
+				counts[pos]++
+			}
+		}
+		check := func(tr *Trace) error {
+			if !seq.IsStep(counts) {
+				return fmt.Errorf("sched: quiescent exit counts %v violate the step property\n%s",
+					counts, FormatTokenSchedule(net, entries, tr))
+			}
+			for i := range counts {
+				if counts[i] != want[i] {
+					return fmt.Errorf("sched: quiescent exit counts %v differ from transfer function %v (quiescent consistency)\n%s",
+						counts, want, FormatTokenSchedule(net, entries, tr))
+				}
+			}
+			return nil
+		}
+		return tasks, check
+	}
+}
+
+// FormatTokenSchedule renders a TokenSystem schedule as per-token gate
+// paths: the trace's non-start slices are exactly the atomic steps of
+// the abstract token model, so replaying them as a sim.Script
+// reconstructs every token's route for sim.FormatPaths.
+func FormatTokenSchedule(net *network.Network, entries []int, tr *Trace) string {
+	order := make([]int, 0, len(tr.Ops))
+	for _, op := range tr.Ops {
+		if op.Label == OpStart {
+			continue
+		}
+		order = append(order, op.Task)
+	}
+	res, paths := sim.RunTraced(net, entries, &sim.Script{Order: order})
+	return sim.FormatPaths(net, entries, paths, res)
+}
+
+// CounterSystem runs goroutines tasks each issuing opsPer values from
+// one fresh NetworkCounter over net (entry wires cycled per task, as
+// counter handles do). At quiescence the issued values must be exactly
+// 0..N-1 — the Fetch&Increment contract: distinct, gap-free, none
+// minted twice. Any atomicity violation in the balancer or
+// local-counter path surfaces as a duplicate or gap.
+func CounterSystem(net *network.Network, goroutines, opsPer int) System {
+	w := net.Width()
+	return func() ([]TaskFunc, func(tr *Trace) error) {
+		c := counter.NewNetworkCounter(net, false)
+		values := make([]int64, 0, goroutines*opsPer)
+		tasks := make([]TaskFunc, goroutines)
+		for g := 0; g < goroutines; g++ {
+			g := g
+			tasks[g] = func(y *Yield) {
+				wire := g % w
+				for k := 0; k < opsPer; k++ {
+					v := c.NextOnHooked(wire, y.Step)
+					values = append(values, v)
+					wire++
+					if wire == w {
+						wire = 0
+					}
+				}
+			}
+		}
+		check := func(tr *Trace) error {
+			got := append([]int64(nil), values...)
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			for i, v := range got {
+				if v != int64(i) {
+					return fmt.Errorf("sched: counter values not gap-free at quiescence: sorted[%d] = %d (values %v)\nschedule:\n%s",
+						i, v, got, tr)
+				}
+			}
+			return nil
+		}
+		return tasks, check
+	}
+}
+
+// PoolSystem runs pairs producer tasks and pairs consumer tasks over a
+// fresh pool.Pool built on net; producer g puts the itemsPer items
+// g*itemsPer..(g+1)*itemsPer-1 and every consumer gets itemsPer items.
+// At quiescence each item must have been delivered exactly once —
+// the pool's contract, inherited from gap-free counting on both the
+// put and get networks. Unbalanced schedules that strand a getter are
+// reported as deadlocks by Run.
+func PoolSystem(net *network.Network, pairs, itemsPer int) System {
+	return func() ([]TaskFunc, func(tr *Trace) error) {
+		p := pool.New[int](net)
+		got := make([]int, 0, pairs*itemsPer)
+		tasks := make([]TaskFunc, 0, 2*pairs)
+		for g := 0; g < pairs; g++ {
+			g := g
+			tasks = append(tasks, func(y *Yield) {
+				for k := 0; k < itemsPer; k++ {
+					p.PutHooked(g*itemsPer+k, y.Step)
+				}
+			})
+		}
+		for g := 0; g < pairs; g++ {
+			tasks = append(tasks, func(y *Yield) {
+				for k := 0; k < itemsPer; k++ {
+					got = append(got, p.GetHooked(y.Step, y.Block))
+				}
+			})
+		}
+		check := func(tr *Trace) error {
+			sorted := append([]int(nil), got...)
+			sort.Ints(sorted)
+			for i, v := range sorted {
+				if v != i {
+					return fmt.Errorf("sched: pool delivery not exactly-once: sorted[%d] = %d (got %v)\nschedule:\n%s",
+						i, v, sorted, tr)
+				}
+			}
+			return nil
+		}
+		return tasks, check
+	}
+}

@@ -1,0 +1,127 @@
+//go:build soak
+
+// Long schedule-exploration soak, run by the nightly CI lane:
+//
+//	go test -tags soak -run Soak -timeout 20m ./internal/sched
+//
+// It widens every axis the fast suite bounds: larger networks, more
+// tokens, more schedules, higher preemption budgets, and a mutation
+// sweep asserting detection strength at scale. Any failure prints a
+// replay seed; paste it into sched.ReplaySeed to reproduce.
+package sched_test
+
+import (
+	"testing"
+
+	"countnet/internal/baseline"
+	"countnet/internal/core"
+	"countnet/internal/network"
+	"countnet/internal/sched"
+	"countnet/internal/verify"
+)
+
+func soakNets(t *testing.T) map[string]*network.Network {
+	t.Helper()
+	nets := map[string]*network.Network{}
+	add := func(name string, n *network.Network, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		nets[name] = n
+	}
+	k, err := core.K(2, 2, 2)
+	add("K(2,2,2)", k, err)
+	l, err := core.L(2, 3)
+	add("L(2,3)", l, err)
+	r, err := core.R(3, 3)
+	add("R(3,3)", r, err)
+	b, err := baseline.Bitonic(8)
+	add("bitonic8", b, err)
+	return nets
+}
+
+// TestSoakTokenSchedules: tens of thousands of random interleavings
+// plus deep bounded-preemption DFS per construction family.
+func TestSoakTokenSchedules(t *testing.T) {
+	for name, net := range soakNets(t) {
+		w := net.Width()
+		entries := make([]int, 0, 2*w+3)
+		for k := 0; k < 2; k++ {
+			for wire := 0; wire < w; wire++ {
+				entries = append(entries, wire)
+			}
+		}
+		entries = append(entries, 0, 0, w-1) // skew on top of full rounds
+		sys := sched.TokenSystem(net, entries)
+		if rep := sched.ExploreRandom(sys, 0x50a1, 20_000, 100_000); rep.Failure != nil {
+			t.Errorf("%s random: %s", name, rep.Failure)
+		}
+		if rep := sched.ExplorePCT(sys, 0x50a2, 5_000, 100_000, len(entries), 3); rep.Failure != nil {
+			t.Errorf("%s pct: %s", name, rep.Failure)
+		}
+		if rep := sched.ExploreDFS(sys, 2, 30_000, 100_000); rep.Failure != nil {
+			t.Errorf("%s dfs: %s", name, rep.Failure)
+		} else {
+			t.Logf("%s: dfs covered %d schedules", name, rep.Schedules)
+		}
+	}
+}
+
+// TestSoakCounterAndPoolSchedules: heavier concurrent workloads on the
+// counter and pool substrates.
+func TestSoakCounterAndPoolSchedules(t *testing.T) {
+	net, err := core.K(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := sched.CounterSystem(net, 4, 3)
+	if rep := sched.ExploreRandom(ctr, 0x50a3, 10_000, 200_000); rep.Failure != nil {
+		t.Errorf("counter random: %s", rep.Failure)
+	}
+	pl := sched.PoolSystem(net, 3, 2)
+	if rep := sched.ExploreRandom(pl, 0x50a4, 5_000, 200_000); rep.Failure != nil {
+		t.Errorf("pool random: %s", rep.Failure)
+	}
+}
+
+// TestSoakMutationDetection: every counting-breaking single-gate
+// mutant of bitonic(8) must be detected by schedule exploration on a
+// load the quiescent checker flags (shrunk before reporting, proving
+// the shrinker holds up under volume).
+func TestSoakMutationDetection(t *testing.T) {
+	base, err := baseline.Bitonic(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected, breaking := 0, 0
+	for i := 0; i < base.Size(); i++ {
+		mut := verify.MutateReverseGate(base, i)
+		bad := verify.CountsExhaustive(mut, 2)
+		if bad == nil {
+			continue // absorbed mutation: not counting-breaking at this load bound
+		}
+		breaking++
+		var entries []int
+		for wire, cnt := range bad {
+			for k := int64(0); k < cnt; k++ {
+				entries = append(entries, wire)
+			}
+		}
+		sys := sched.TokenSystem(mut, entries)
+		rep := sched.ExploreRandom(sys, sched.Mix(0x50a5, i), 10_000, 100_000)
+		if rep.Failure == nil {
+			t.Errorf("gate %d reversal not detected in %d schedules", i, rep.Schedules)
+			continue
+		}
+		min := sched.Shrink(sys, rep.Failure, 100_000, 500)
+		if min.Err == nil {
+			t.Errorf("gate %d: shrink lost the failure", i)
+			continue
+		}
+		detected++
+	}
+	t.Logf("detected %d/%d counting-breaking reversals of bitonic(8)", detected, breaking)
+	if breaking == 0 {
+		t.Error("no reversal broke counting — load bound too weak")
+	}
+}

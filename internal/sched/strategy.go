@@ -1,0 +1,240 @@
+package sched
+
+import "math/rand"
+
+// Strategy picks which runnable task executes the next scheduling
+// slice. runnable holds task ids in ascending order; Pick returns an
+// index into runnable. step is the 0-based slice number and prev the
+// task that ran the previous slice (-1 for the first).
+type Strategy interface {
+	Pick(step, prev int, runnable []int) int
+	Name() string
+}
+
+// defaultIndex is the non-preempting choice: keep running prev if it
+// still can, otherwise fall back to the lowest task id.
+func defaultIndex(runnable []int, prev int) int {
+	for i, id := range runnable {
+		if id == prev {
+			return i
+		}
+	}
+	return 0
+}
+
+// RandomWalk picks uniformly among the runnable tasks from a seeded
+// generator: the seed alone reproduces the schedule.
+type RandomWalk struct {
+	seed uint64
+	rng  *rand.Rand
+}
+
+// NewRandomWalk returns a RandomWalk for the seed.
+func NewRandomWalk(seed uint64) *RandomWalk {
+	return &RandomWalk{seed: seed, rng: rand.New(rand.NewSource(int64(seed)))}
+}
+
+// Pick implements Strategy.
+func (s *RandomWalk) Pick(_, _ int, runnable []int) int { return s.rng.Intn(len(runnable)) }
+
+// Name implements Strategy.
+func (s *RandomWalk) Name() string { return "random-walk" }
+
+// Seed returns the seed the walk was built from.
+func (s *RandomWalk) Seed() uint64 { return s.seed }
+
+// PCT is a probabilistic concurrency testing scheduler (Burckhardt et
+// al., ASPLOS 2010): tasks get random priorities, the highest-priority
+// runnable task always runs, and at depth-1 random step indices the
+// running task's priority drops below everyone's. For bug depth d the
+// probability of hitting a depth-d bug is at least 1/(n·k^(d-1)).
+type PCT struct {
+	seed    uint64
+	prio    []int       // task id -> priority, higher runs first
+	change  map[int]int // step -> next demotion priority
+	demoted int
+}
+
+// NewPCT builds a PCT scheduler for tasks tasks and schedules of at
+// most maxSteps slices, with depth-1 priority change points.
+func NewPCT(seed uint64, tasks, maxSteps, depth int) *PCT {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	p := &PCT{seed: seed, prio: make([]int, tasks), change: make(map[int]int)}
+	for i, v := range rng.Perm(tasks) {
+		p.prio[i] = v + depth // keep room below for demotions
+	}
+	for d := 1; d < depth; d++ {
+		if maxSteps > 0 {
+			p.change[rng.Intn(maxSteps)] = depth - d
+		}
+	}
+	return p
+}
+
+// Pick implements Strategy.
+func (p *PCT) Pick(step, _ int, runnable []int) int {
+	best := 0
+	for i, id := range runnable {
+		if p.prio[id] > p.prio[runnable[best]] {
+			best = i
+		}
+	}
+	if newPrio, ok := p.change[step]; ok {
+		p.prio[runnable[best]] = newPrio
+		// Re-select with the demotion applied.
+		best = 0
+		for i := range runnable {
+			if p.prio[runnable[i]] > p.prio[runnable[best]] {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// Name implements Strategy.
+func (p *PCT) Name() string { return "pct" }
+
+// Replay re-executes a recorded choice sequence: at step k it picks
+// task Choices[k]. If that task is not runnable (or the sequence is
+// exhausted — both happen while shrinking), it degrades to the
+// non-preempting default, so every choice list denotes *some* valid
+// schedule.
+type Replay struct{ Choices []int }
+
+// Pick implements Strategy.
+func (r *Replay) Pick(step, prev int, runnable []int) int {
+	if step < len(r.Choices) {
+		want := r.Choices[step]
+		for i, id := range runnable {
+			if id == want {
+				return i
+			}
+		}
+	}
+	return defaultIndex(runnable, prev)
+}
+
+// Name implements Strategy.
+func (r *Replay) Name() string { return "replay" }
+
+// ByteDecoder turns an arbitrary byte string into a schedule: byte k
+// (cycling) picks runnable[b mod len(runnable)] at step k. This is the
+// bridge from go-fuzz corpora to interleavings: any input is a valid
+// schedule, and mutating bytes mutates the interleaving locally.
+type ByteDecoder struct{ Data []byte }
+
+// Pick implements Strategy.
+func (d *ByteDecoder) Pick(step, prev int, runnable []int) int {
+	if len(d.Data) == 0 {
+		return defaultIndex(runnable, prev)
+	}
+	return int(d.Data[step%len(d.Data)]) % len(runnable)
+}
+
+// Name implements Strategy.
+func (d *ByteDecoder) Name() string { return "byte-decoder" }
+
+// DFS explores the schedule tree exhaustively in depth-first order
+// with a preemption bound (Musuvathi & Qadeer, PLDI 2007): a choice
+// counts as a preemption when the previously running task was still
+// runnable but a different task was picked. Alternatives exceeding
+// MaxPreemptions are pruned, which keeps small configurations
+// tractable while covering every schedule reachable with few forced
+// switches — where the vast majority of real concurrency bugs live.
+//
+// One DFS value drives many Runs: call Next after each Run to advance
+// to the next unexplored schedule; it reports false when the bounded
+// tree is exhausted.
+type DFS struct {
+	MaxPreemptions int
+	path           []dfsNode
+	pos            int
+}
+
+type dfsNode struct {
+	runnable []int
+	prev     int
+	alt      int // 0 = non-preempting default, then the others ascending
+}
+
+// choiceFor maps an alternative number to an index into runnable.
+func (n *dfsNode) choiceFor(alt int) int {
+	def := defaultIndex(n.runnable, n.prev)
+	if alt == 0 {
+		return def
+	}
+	k := 1
+	for i := range n.runnable {
+		if i == def {
+			continue
+		}
+		if k == alt {
+			return i
+		}
+		k++
+	}
+	return def
+}
+
+// preempts reports whether taking alternative alt at this node forces
+// a preemption.
+func (n *dfsNode) preempts(alt int) bool {
+	def := defaultIndex(n.runnable, n.prev)
+	if n.prev < 0 || n.runnable[def] != n.prev {
+		return false // prev finished or blocked: any pick is a free switch
+	}
+	return n.choiceFor(alt) != def
+}
+
+// Pick implements Strategy.
+func (d *DFS) Pick(step, prev int, runnable []int) int {
+	if d.pos < len(d.path) {
+		n := &d.path[d.pos]
+		d.pos++
+		return n.choiceFor(n.alt)
+	}
+	n := dfsNode{runnable: append([]int(nil), runnable...), prev: prev}
+	d.path = append(d.path, n)
+	d.pos++
+	return d.path[len(d.path)-1].choiceFor(0)
+}
+
+// Name implements Strategy.
+func (d *DFS) Name() string { return "dfs" }
+
+// Next backtracks to the deepest node with an untried alternative
+// within the preemption budget and prepares the next Run. It returns
+// false when the search space is exhausted.
+func (d *DFS) Next() bool {
+	for len(d.path) > 0 {
+		last := len(d.path) - 1
+		n := &d.path[last]
+		base := d.preemptionsBefore(last)
+		for n.alt+1 < len(n.runnable) {
+			n.alt++
+			extra := 0
+			if n.preempts(n.alt) {
+				extra = 1
+			}
+			if base+extra <= d.MaxPreemptions {
+				d.pos = 0
+				return true
+			}
+		}
+		d.path = d.path[:last]
+	}
+	return false
+}
+
+// preemptionsBefore counts preemptions on the path strictly above node
+// depth.
+func (d *DFS) preemptionsBefore(depth int) int {
+	p := 0
+	for i := 0; i < depth; i++ {
+		if d.path[i].preempts(d.path[i].alt) {
+			p++
+		}
+	}
+	return p
+}

@@ -45,8 +45,10 @@ func SortsZeroOne(net *network.Network, maxWidth int) (failing []int64, err erro
 
 // SortsRandom applies trials random permutations of 0..w-1 plus random
 // multisets and checks the output is sorted (descending, per the step
-// orientation). It returns the first failing input, or nil.
-func SortsRandom(net *network.Network, trials int, rng *rand.Rand) []int64 {
+// orientation). It returns the first failing input and its 0-based
+// trial index (so callers can report a one-line repro: same rng seed,
+// same trial, same input), or (nil, -1).
+func SortsRandom(net *network.Network, trials int, rng *rand.Rand) ([]int64, int) {
 	w := net.Width()
 	in := make([]int64, w)
 	for t := 0; t < trials; t++ {
@@ -62,10 +64,10 @@ func SortsRandom(net *network.Network, trials int, rng *rand.Rand) []int64 {
 		}
 		out := runner.ApplyComparators(net, in)
 		if !sortedDesc(out) {
-			return append([]int64(nil), in...)
+			return append([]int64(nil), in...), t
 		}
 	}
-	return nil
+	return nil, -1
 }
 
 func sortedDesc(x []int64) bool {
@@ -108,8 +110,9 @@ func CountsExhaustive(net *network.Network, maxPerWire int) []int64 {
 
 // CountsRandom checks the step property on trials random inputs with
 // per-wire counts in [0, maxPerWire], mixing sparse, dense and skewed
-// distributions. It returns the first failing input, or nil.
-func CountsRandom(net *network.Network, trials, maxPerWire int, rng *rand.Rand) []int64 {
+// distributions. It returns the first failing input and its 0-based
+// trial index (for one-line repros), or (nil, -1).
+func CountsRandom(net *network.Network, trials, maxPerWire int, rng *rand.Rand) ([]int64, int) {
 	w := net.Width()
 	in := make([]int64, w)
 	stepper := runner.NewStepper(net)
@@ -139,10 +142,10 @@ func CountsRandom(net *network.Network, trials, maxPerWire int, rng *rand.Rand) 
 		}
 		out := stepper.Step(in)
 		if !seq.IsStep(out) {
-			return append([]int64(nil), in...)
+			return append([]int64(nil), in...), t
 		}
 	}
-	return nil
+	return nil, -1
 }
 
 // IsCountingNetwork runs a practical battery: bounded-exhaustive token
@@ -169,8 +172,8 @@ func IsCountingNetwork(net *network.Network, rng *rand.Rand) error {
 	if w > 256 {
 		trials = 100
 	}
-	if bad := CountsRandom(net, trials, 3*w, rng); bad != nil {
-		return fmt.Errorf("verify: step property fails on token input %v", bad)
+	if bad, trial := CountsRandom(net, trials, 3*w, rng); bad != nil {
+		return fmt.Errorf("verify: step property fails on token input %v (random trial %d)", bad, trial)
 	}
 	// Cross-check quiescent transfer against serial token simulation.
 	perWire := 3
@@ -208,8 +211,27 @@ func IsSortingNetwork(net *network.Network, rng *rand.Rand) error {
 		}
 		return nil
 	}
-	if bad := SortsRandom(net, 200, rng); bad != nil {
-		return fmt.Errorf("verify: fails to sort input %v", bad)
+	if bad, trial := SortsRandom(net, 200, rng); bad != nil {
+		return fmt.Errorf("verify: fails to sort input %v (random trial %d)", bad, trial)
+	}
+	return nil
+}
+
+// IsCountingNetworkSeeded is IsCountingNetwork over a freshly seeded
+// generator; any failure carries the seed, so the error message alone
+// is a one-line repro (same seed, same trial, same input).
+func IsCountingNetworkSeeded(net *network.Network, seed int64) error {
+	if err := IsCountingNetwork(net, rand.New(rand.NewSource(seed))); err != nil {
+		return fmt.Errorf("%w (repro: seed=%d)", err, seed)
+	}
+	return nil
+}
+
+// IsSortingNetworkSeeded is IsSortingNetwork with seed-carrying
+// failure messages; see IsCountingNetworkSeeded.
+func IsSortingNetworkSeeded(net *network.Network, seed int64) error {
+	if err := IsSortingNetwork(net, rand.New(rand.NewSource(seed))); err != nil {
+		return fmt.Errorf("%w (repro: seed=%d)", err, seed)
 	}
 	return nil
 }

@@ -64,11 +64,15 @@ func TestSortsZeroOneWidthLimit(t *testing.T) {
 
 func TestSortsRandom(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	if bad := SortsRandom(sorter4(), 100, rng); bad != nil {
-		t.Errorf("sorter4 rejected on %v", bad)
+	if bad, trial := SortsRandom(sorter4(), 100, rng); bad != nil {
+		t.Errorf("sorter4 rejected on %v (trial %d)", bad, trial)
 	}
-	if bad := SortsRandom(nonSorter4(), 500, rng); bad == nil {
+	bad, trial := SortsRandom(nonSorter4(), 500, rng)
+	if bad == nil {
 		t.Error("nonSorter4 accepted")
+	}
+	if trial < 0 {
+		t.Error("failure did not report its trial index")
 	}
 }
 
@@ -102,11 +106,15 @@ func TestCountsExhaustiveCoversAllInputs(t *testing.T) {
 
 func TestCountsRandom(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	if bad := CountsRandom(sorter4(), 200, 10, rng); bad != nil {
-		t.Errorf("sorter4 rejected on %v", bad)
+	if bad, trial := CountsRandom(sorter4(), 200, 10, rng); bad != nil {
+		t.Errorf("sorter4 rejected on %v (trial %d)", bad, trial)
 	}
-	if bad := CountsRandom(bubble4(), 500, 10, rng); bad == nil {
+	bad, trial := CountsRandom(bubble4(), 500, 10, rng)
+	if bad == nil {
 		t.Error("bubble4 accepted")
+	}
+	if trial < 0 {
+		t.Error("failure did not report its trial index")
 	}
 }
 

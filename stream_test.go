@@ -1,10 +1,13 @@
 package countnet
 
 import (
+	"fmt"
 	"math/rand"
 	"reflect"
 	"sort"
 	"testing"
+
+	"countnet/internal/sched"
 )
 
 func TestBatchSorter(t *testing.T) {
@@ -85,6 +88,74 @@ func TestSortBatchesFacade(t *testing.T) {
 	}
 	if err := n.SortBatches([][]int64{{1}}, 1); err == nil {
 		t.Error("short batch accepted")
+	}
+}
+
+// TestSortStreamScheduleExploration drives concurrent producers into
+// one SortStream pipeline under the controlled scheduler
+// (internal/sched): the scheduler decides the exact order in which
+// producers hand batches to the stream, and for every explored
+// interleaving each emitted batch must be the sorted image of the
+// batch submitted at that position. This pins down the pipeline's
+// order-preservation contract under producer races, with any failing
+// interleaving replayable from its printed seed.
+func TestSortStreamScheduleExploration(t *testing.T) {
+	n, err := NewK(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const producers, perProducer = 3, 2
+	rng := rand.New(rand.NewSource(8))
+	batches := make([][][]int64, producers)
+	for p := range batches {
+		batches[p] = make([][]int64, perProducer)
+		for k := range batches[p] {
+			b := make([]int64, n.Width())
+			for i := range b {
+				b[i] = int64(rng.Intn(100))
+			}
+			batches[p][k] = b
+		}
+	}
+	sys := sched.System(func() ([]sched.TaskFunc, func(*sched.Trace) error) {
+		in := make(chan []int64)
+		out := n.SortStream(in)
+		var submitted [][]int64 // in serialized submission order
+		tasks := make([]sched.TaskFunc, producers)
+		for p := 0; p < producers; p++ {
+			p := p
+			tasks[p] = func(y *sched.Yield) {
+				for k := 0; k < perProducer; k++ {
+					y.Step(fmt.Sprintf("submit %d/%d", p, k))
+					submitted = append(submitted, batches[p][k])
+					in <- append([]int64(nil), batches[p][k]...) // pipeline reuses input slices
+				}
+			}
+		}
+		check := func(tr *sched.Trace) error {
+			close(in)
+			pos := 0
+			for got := range out {
+				want := append([]int64(nil), submitted[pos]...)
+				sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+				if !reflect.DeepEqual(got, want) {
+					return fmt.Errorf("stream position %d: got %v, want sorted %v of submission %v",
+						pos, got, want, submitted[pos])
+				}
+				pos++
+			}
+			if pos != producers*perProducer {
+				return fmt.Errorf("stream emitted %d batches, want %d", pos, producers*perProducer)
+			}
+			return nil
+		}
+		return tasks, check
+	})
+	if rep := sched.ExploreRandom(sys, 0xabcd, 60, 10_000); rep.Failure != nil {
+		t.Fatalf("random: %s", rep.Failure)
+	}
+	if rep := sched.ExploreDFS(sys, 1, 5_000, 10_000); rep.Failure != nil {
+		t.Fatalf("dfs: %s", rep.Failure)
 	}
 }
 
