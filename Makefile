@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench fuzz soak vet fmt experiments examples clean
+.PHONY: all build test race short bench bench-plan bench-smoke fuzz soak vet fmt experiments examples clean
 
 all: build vet test
 
@@ -26,6 +26,21 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Benchmarks that gate the compiled-plan/memoization fast paths,
+# recorded to BENCH_plan.json (the committed "baseline" set is
+# preserved; only "current" is rewritten).
+BENCH_KEY = 'BenchmarkBuildK|BenchmarkBuildL|BenchmarkSortNetworks|BenchmarkBatchSort|BenchmarkTraverseParallel'
+
+bench-plan:
+	$(GO) test -run '^$$' -bench $(BENCH_KEY) -benchmem -benchtime 300ms . \
+		| $(GO) run ./cmd/benchjson -out BENCH_plan.json -set current
+
+# One-iteration smoke of the same lane for CI: proves the benchmarks
+# and the JSON tooling run, without timing anything.
+bench-smoke:
+	$(GO) test -run '^$$' -bench $(BENCH_KEY) -benchmem -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson -out /tmp/bench_smoke.json -set smoke
 
 # Continuous fuzzing entry points (each runs until interrupted).
 fuzz:

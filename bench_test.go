@@ -2,7 +2,9 @@ package countnet
 
 import (
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync/atomic"
 	"testing"
 
 	"countnet/internal/baseline"
@@ -211,6 +213,99 @@ func BenchmarkTraverse(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				a.Traverse(i & 15)
 			}
+		})
+	}
+}
+
+// BenchmarkTraverseParallel measures contended concurrent traversal:
+// every goroutine hammers the same compiled network's balancer
+// counters, so false sharing between adjacent gates shows up directly.
+func BenchmarkTraverseParallel(b *testing.B) {
+	for _, fs := range [][]int{{4, 4}, {2, 2, 2, 2}} {
+		n, err := core.L(fs...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := runner.Compile(n)
+		w := n.Width()
+		b.Run(n.Name, func(b *testing.B) {
+			var next atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				wire := int(next.Add(1)) % w
+				for pb.Next() {
+					a.Traverse(wire)
+					wire = (wire + 1) % w
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkBatchSort compares the batch-sorting engines over identical
+// work: `gates` walks the network gate list per batch (the pre-plan
+// engine), `plan` streams blocks through the compiled plan on one
+// goroutine, `planmt` adds data-parallel workers, and `parallel` runs
+// each batch alone with layer parallelism.
+func BenchmarkBatchSort(b *testing.B) {
+	for _, spec := range []struct {
+		name  string
+		build func() (*Network, error)
+	}{
+		{"L444_w64", func() (*Network, error) { return NewL(4, 4, 4) }},
+		{"K448_w128", func() (*Network, error) { return NewK(4, 4, 8) }},
+	} {
+		n, err := spec.build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := n.Width()
+		const numBatches = 256
+		rng := rand.New(rand.NewSource(9))
+		pristine := make([][]int64, numBatches)
+		work := make([][]int64, numBatches)
+		for i := range pristine {
+			pristine[i] = make([]int64, w)
+			for j := range pristine[i] {
+				pristine[i][j] = int64(rng.Intn(100000))
+			}
+			work[i] = make([]int64, w)
+		}
+		reset := func() {
+			for i := range work {
+				copy(work[i], pristine[i])
+			}
+		}
+		batchNs := func(b *testing.B, run func()) {
+			b.Helper()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reset() // identical refill cost for every engine
+				run()
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*numBatches), "ns/batch")
+		}
+		plan := runner.CompilePlan(n.inner)
+		b.Run(spec.name+"/gates", func(b *testing.B) {
+			batchNs(b, func() {
+				for i := range work {
+					runner.ApplyComparators(n.inner, work[i])
+				}
+			})
+		})
+		b.Run(spec.name+"/plan", func(b *testing.B) {
+			batchNs(b, func() { plan.ApplyBatches(work, 0) })
+		})
+		b.Run(spec.name+"/planmt", func(b *testing.B) {
+			batchNs(b, func() { plan.SortBatches(work, runtime.NumCPU()) })
+		})
+		b.Run(spec.name+"/parallel", func(b *testing.B) {
+			pl := plan.NewParallel(0)
+			defer pl.Close()
+			batchNs(b, func() {
+				for i := range work {
+					pl.Apply(work[i], work[i])
+				}
+			})
 		})
 	}
 }

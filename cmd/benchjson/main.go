@@ -1,0 +1,137 @@
+// Command benchjson converts `go test -bench -benchmem` output read
+// from stdin into a committed JSON benchmark record.
+//
+// The output file holds named result sets (typically "baseline" and
+// "current"); a run rewrites only the set named by -set and preserves
+// every other set already in the file, so a pre-change baseline
+// survives post-change refreshes:
+//
+//	go test -run '^$' -bench ... -benchmem . | benchjson -out BENCH_plan.json -set current
+//
+// Each result records name (GOMAXPROCS suffix stripped), ns/op, B/op,
+// allocs/op, and any extra metrics (e.g. ns/batch) the benchmark
+// reported.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Set is one named collection of results.
+type Set struct {
+	Note    string   `json:"note,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	var (
+		out  = flag.String("out", "BENCH_plan.json", "output JSON file (existing sets other than -set are preserved)")
+		set  = flag.String("set", "current", "name of the result set to write")
+		note = flag.String("note", "", "free-form note stored with the set")
+	)
+	flag.Parse()
+
+	results, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	sets := map[string]*Set{}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &sets); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: existing %s is not a benchmark record: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	sets[*set] = &Set{Note: *note, Results: results}
+
+	data, err := json.MarshalIndent(sets, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s[%q]\n", len(results), *out, *set)
+}
+
+// parse extracts benchmark result lines and ignores everything else
+// (headers, PASS/ok trailers, log output).
+func parse(sc *bufio.Scanner) ([]Result, error) {
+	var results []Result
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// BenchmarkName-8  N  v1 unit1  v2 unit2 ...
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue
+		}
+		r := Result{Name: stripProcs(fields[0])}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+				ok = true
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			default:
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[fields[i+1]] = v
+			}
+		}
+		if ok {
+			results = append(results, r)
+		}
+	}
+	return results, sc.Err()
+}
+
+// stripProcs removes the trailing -GOMAXPROCS suffix from a benchmark
+// name, so records compare across machines.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -3,16 +3,21 @@
 // repository's interactive version of the E9 experiment ([9]-style
 // contention study).
 //
+// It also reports batch-sort throughput for the same networks through
+// a selectable execution engine (-engine).
+//
 // Usage:
 //
 //	countbench                                # default sweep, width 16
 //	countbench -width 32 -duration 200ms      # wider network, longer windows
 //	countbench -goroutines 1,4,16             # explicit thread counts
+//	countbench -engine gates                  # sort via the gate-list walker
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
 	"strings"
@@ -22,6 +27,8 @@ import (
 	"countnet/internal/core"
 	"countnet/internal/counter"
 	"countnet/internal/factor"
+	"countnet/internal/network"
+	"countnet/internal/runner"
 	"countnet/internal/stats"
 )
 
@@ -32,10 +39,18 @@ func main() {
 		goroutines = flag.String("goroutines", "", "comma-separated goroutine counts (default: 1,2,4,... to 2x GOMAXPROCS)")
 		mutex      = flag.Bool("mutex", false, "also measure lock-based balancers")
 		repeat     = flag.Int("repeat", 3, "measurements per cell; cells report mean and relative stddev")
+		engine     = flag.String("engine", "plan", "batch-sort engine: gates (gate-list walker), plan (compiled plan), or parallel (layer-parallel plan)")
+		sortBatch  = flag.Int("sortbatches", 4096, "batches per batch-sort measurement")
 	)
 	flag.Parse()
 	if *repeat < 1 {
 		*repeat = 1
+	}
+	switch *engine {
+	case "gates", "plan", "parallel":
+	default:
+		fmt.Fprintf(os.Stderr, "countbench: unknown engine %q (want gates, plan or parallel)\n", *engine)
+		os.Exit(2)
 	}
 
 	steps := bench.DefaultGoroutineSteps()
@@ -91,6 +106,52 @@ func main() {
 		}
 	}
 	tbl.Fprint(os.Stdout)
+	fmt.Println()
+
+	sortTbl := &bench.Table{
+		ID:     "countbench-sort",
+		Title:  fmt.Sprintf("batch-sort throughput, width %d, engine %s (%d batches)", *width, *engine, *sortBatch),
+		Header: []string{"network", "depth", "gates", "ns/batch"},
+	}
+	for _, fs := range factor.Factorizations(*width, 2) {
+		net, err := core.L(fs...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "countbench:", err)
+			os.Exit(1)
+		}
+		ns := measureSort(net, *engine, *sortBatch)
+		sortTbl.AddRow(fmt.Sprintf("L[%s]", join(fs)), net.Depth(), net.Size(), fmt.Sprint(ns))
+	}
+	sortTbl.Fprint(os.Stdout)
+}
+
+// measureSort pushes `batches` random batches through the network with
+// the chosen engine and returns nanoseconds per batch.
+func measureSort(net *network.Network, engine string, batches int) int64 {
+	rng := rand.New(rand.NewSource(42))
+	work := make([][]int64, batches)
+	for i := range work {
+		work[i] = make([]int64, net.Width())
+		for j := range work[i] {
+			work[i][j] = int64(rng.Intn(1 << 20))
+		}
+	}
+	start := time.Now()
+	switch engine {
+	case "gates":
+		for _, b := range work {
+			runner.ApplyComparators(net, b)
+		}
+	case "plan":
+		runner.CompilePlan(net).ApplyBatches(work, 0)
+	case "parallel":
+		pl := runner.CompilePlan(net).NewParallel(0)
+		defer pl.Close()
+		for _, b := range work {
+			pl.Apply(b, b)
+		}
+	}
+	return time.Since(start).Nanoseconds() / int64(batches)
 }
 
 func join(fs []int) string {

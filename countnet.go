@@ -29,6 +29,8 @@ package countnet
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"countnet/internal/baseline"
 	"countnet/internal/core"
@@ -44,7 +46,35 @@ import (
 // Network is a sorting/counting network of fixed width.
 type Network struct {
 	inner *network.Network
+
+	// planCache lazily compiles the network into a flat evaluation
+	// plan the first time a sorting fast path runs; every subsequent
+	// Sort, BatchSorter and SortBatches reuses it. The cache records
+	// which network it was compiled from, so rebinding the Network
+	// (UnmarshalJSON) invalidates it naturally.
+	planCache atomic.Pointer[cachedPlan]
 }
+
+type cachedPlan struct {
+	net     *network.Network
+	plan    *runner.Plan
+	scratch sync.Pool // *runner.Scratch sized for plan
+}
+
+// evalPlanCache returns the network's compiled evaluation plan,
+// compiling it on first use. Safe for concurrent callers: a lost race
+// compiles twice and keeps either result, both equivalent.
+func (n *Network) evalPlanCache() *cachedPlan {
+	if c := n.planCache.Load(); c != nil && c.net == n.inner {
+		return c
+	}
+	c := &cachedPlan{net: n.inner, plan: runner.CompilePlan(n.inner)}
+	n.planCache.Store(c)
+	return c
+}
+
+// evalPlan returns the compiled plan itself.
+func (n *Network) evalPlan() *runner.Plan { return n.evalPlanCache().plan }
 
 // NewK builds the family-K network K(p0,...,pn-1): width p0*...*pn-1,
 // depth exactly 1.5n^2-3.5n+2 (n >= 2), comparators/balancers of width
@@ -175,7 +205,19 @@ func (n *Network) Sort(values []int64) ([]int64, error) {
 	if len(values) != n.Width() {
 		return nil, fmt.Errorf("countnet: batch of %d values for width-%d network", len(values), n.Width())
 	}
-	return runner.SortAscending(n.inner, values), nil
+	c := n.evalPlanCache()
+	s, _ := c.scratch.Get().(*runner.Scratch)
+	if s == nil {
+		s = c.plan.NewScratch()
+	}
+	out := make([]int64, len(values))
+	c.plan.Apply(out, values, s)
+	c.scratch.Put(s)
+	// The step convention emits largest-first; callers get ascending.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out, nil
 }
 
 // SortFunc sorts one batch of arbitrary elements (descending per the

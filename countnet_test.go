@@ -203,7 +203,7 @@ func TestJSONFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	if back.Width() != 6 || back.Depth() != n.Depth() {
-		t.Errorf("round trip: %v", back)
+		t.Errorf("round trip: %v", back.String())
 	}
 	// The round-tripped network still works.
 	out, err := back.Step([]int64{4, 0, 0, 0, 0, 0})

@@ -408,16 +408,19 @@ func E11Construction() *Table {
 	return t
 }
 
-// E12SortThroughput compares batch sorting through the comparator
-// engine against the depth structure: deeper networks do more work per
-// batch. (Absolute throughput is machine-dependent; the shape — wider
-// gates, fewer layers, fewer gate visits — is the point.)
+// E12SortThroughput compares batch sorting against the depth
+// structure: deeper networks do more work per batch. Each network is
+// measured through the gate-list walker and through its compiled
+// evaluation plan, so the table doubles as a report of what plan
+// compilation buys per factorization. (Absolute throughput is
+// machine-dependent; the shape — wider gates, fewer layers, fewer gate
+// visits — is the point.)
 func E12SortThroughput(batches int) *Table {
 	t := &Table{
 		ID:     "E12",
-		Title:  "comparator-engine sort throughput by factorization",
+		Title:  "sort throughput by factorization: gate walker vs compiled plan",
 		Note:   "Not a paper table; sanity-checks the sorting semantics and shows the depth/gate-count trade-off in engine time.",
-		Header: []string{"network", "width", "depth", "gates", "ns/batch"},
+		Header: []string{"network", "width", "depth", "gates", "ns/batch gates", "ns/batch plan"},
 	}
 	rng := rand.New(rand.NewSource(112))
 	nets := []*network.Network{
@@ -434,8 +437,17 @@ func E12SortThroughput(batches int) *Table {
 		for b := 0; b < batches; b++ {
 			runner.ApplyComparators(n, in)
 		}
-		el := time.Since(start)
-		t.AddRow(n.Name, n.Width(), n.Depth(), n.Size(), fmt.Sprint(el.Nanoseconds()/int64(batches)))
+		gateNs := time.Since(start).Nanoseconds() / int64(batches)
+
+		plan := runner.CompilePlan(n)
+		s := plan.NewScratch()
+		out := make([]int64, n.Width())
+		start = time.Now()
+		for b := 0; b < batches; b++ {
+			plan.Apply(out, in, s)
+		}
+		planNs := time.Since(start).Nanoseconds() / int64(batches)
+		t.AddRow(n.Name, n.Width(), n.Depth(), n.Size(), fmt.Sprint(gateNs), fmt.Sprint(planNs))
 	}
 	return t
 }

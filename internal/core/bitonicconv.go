@@ -15,13 +15,22 @@ import (
 // a q-balancer across each row and then a p-balancer across each
 // column; read the result in column-major order. Depth 2, balancers of
 // width q and p.
-func bitonicConverter(b *network.Builder, p int, x []int, label string) []int {
+func (e *buildEnv) bitonic(p int, x []int, label string) []int {
 	if len(x) == 0 {
 		return x
 	}
 	if p < 1 || len(x)%p != 0 {
 		panic(fmt.Sprintf("core: bitonicConverter %q length %d not a multiple of p=%d", label, len(x), p))
 	}
+	return e.cached(e.key3("D", p, len(x), 0, false), x, label, func(e *buildEnv, in []int, label string) []int {
+		return e.bitonicRaw(p, in, label)
+	})
+}
+
+// bitonicRaw derives the converter gate-by-gate; bitonic memoizes
+// around it.
+func (e *buildEnv) bitonicRaw(p int, x []int, label string) []int {
+	b := e.b
 	q := len(x) / p
 
 	w := make([][]int, p)
@@ -58,6 +67,6 @@ func BitonicConverterNetwork(p, q int) (*network.Network, error) {
 	}
 	b := network.NewBuilder(p * q)
 	name := fmt.Sprintf("D(%d,%d)", p, q)
-	out := bitonicConverter(b, p, network.Identity(p*q), name)
+	out := newEnv(b, Config{}).bitonic(p, network.Identity(p*q), name)
 	return b.Build(name, out), nil
 }

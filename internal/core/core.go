@@ -95,7 +95,7 @@ func BalancerBase(b *network.Builder, in []int, p, q int, label string) []int {
 // R(p,q) of Section 5.3, built from balancers of width at most
 // max(p,q).
 func RBase(b *network.Builder, in []int, p, q int, label string) []int {
-	return buildR(b, in, p, q, label)
+	return newEnv(b, Config{}).buildR(in, p, q, label)
 }
 
 // KConfig returns the configuration of family K (Section 5.1).
@@ -169,7 +169,7 @@ func R(p, q int) (*network.Network, error) {
 		return nil, err
 	}
 	b := network.NewBuilder(p * q)
-	out := buildR(b, network.Identity(p*q), p, q, fmt.Sprintf("R(%d,%d)", p, q))
+	out := newEnv(b, Config{}).buildR(network.Identity(p*q), p, q, fmt.Sprintf("R(%d,%d)", p, q))
 	return b.Build(fmt.Sprintf("R(%d,%d)", p, q), out), nil
 }
 
@@ -188,7 +188,7 @@ func build(cfg Config, name string, factors []int) (*network.Network, error) {
 	}
 	w := Product(factors)
 	b := network.NewBuilder(w)
-	out := buildCounting(b, network.Identity(w), factors, cfg, name)
+	out := newEnv(b, cfg).counting(network.Identity(w), factors, name)
 	return b.Build(name, out), nil
 }
 

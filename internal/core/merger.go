@@ -17,7 +17,7 @@ import (
 // subsequences X_j[i, p(n-2)]; their outputs Y_0..Y_{p(n-2)-1} satisfy
 // the p(n-1)-staircase property (Proposition 2) and are merged by the
 // staircase-merger S(w(n-3), p(n-1), p(n-2)).
-func merger(b *network.Builder, factors []int, inputs [][]int, cfg Config, label string) []int {
+func (e *buildEnv) merger(factors []int, inputs [][]int, label string) []int {
 	n := len(factors)
 	if n < 2 {
 		panic(fmt.Sprintf("core: merger %q with %d factors", label, n))
@@ -32,8 +32,21 @@ func merger(b *network.Builder, factors []int, inputs [][]int, cfg Config, label
 		}
 	}
 	if n == 2 {
-		return cfg.Base(b, seq.Concat(inputs...), factors[0], factors[1], label+"/M.base")
+		return e.callBase(seq.Concat(inputs...), factors[0], factors[1], label+"/M.base")
 	}
+	flat := seq.Concat(inputs...)
+	return e.cached(e.keyFactors("M", factors, true), flat, label, func(e *buildEnv, in []int, label string) []int {
+		parts := make([][]int, len(inputs))
+		for i := range parts {
+			parts[i] = in[i*wEach : (i+1)*wEach]
+		}
+		return e.mergerRaw(factors, parts, label)
+	})
+}
+
+// mergerRaw derives the recursive merger; merger memoizes around it.
+func (e *buildEnv) mergerRaw(factors []int, inputs [][]int, label string) []int {
+	n := len(factors)
 
 	pn1 := factors[n-1] // p(n-1): number of input sequences
 	pn2 := factors[n-2] // p(n-2): number of sub-merger copies
@@ -46,12 +59,12 @@ func merger(b *network.Builder, factors []int, inputs [][]int, cfg Config, label
 		for j := 0; j < pn1; j++ {
 			subInputs[j] = seq.Stride(inputs[j], i, pn2)
 		}
-		ys[i] = merger(b, subFactors, subInputs, cfg, label)
+		ys[i] = e.merger(subFactors, subInputs, label)
 	}
 
 	// S(w(n-3), p(n-1), p(n-2)).
 	r := Product(factors[:n-2])
-	return staircase(b, r, pn1, pn2, ys, cfg, label)
+	return e.staircase(r, pn1, pn2, ys, label)
 }
 
 // buildCounting appends the counting network C(p0,...,pn-1) of Section
@@ -59,24 +72,26 @@ func merger(b *network.Builder, factors []int, inputs [][]int, cfg Config, label
 // the network is a single balancer; for n == 2 it is the base network;
 // for n > 2 it is p(n-1) copies of C(p0..p(n-2)) followed by the merger
 // M(p0..p(n-1)).
-func buildCounting(b *network.Builder, in []int, factors []int, cfg Config, label string) []int {
+func (e *buildEnv) counting(in []int, factors []int, label string) []int {
 	n := len(factors)
 	switch {
 	case n == 0:
 		panic("core: counting with no factors")
 	case n == 1:
-		b.Add(in, label+"/C.balancer")
+		e.b.Add(in, label+"/C.balancer")
 		return in
 	case n == 2:
-		return cfg.Base(b, in, factors[0], factors[1], label+"/C.base")
+		return e.callBase(in, factors[0], factors[1], label+"/C.base")
 	}
-	pn1 := factors[n-1]
-	blockLen := len(in) / pn1
-	outs := make([][]int, pn1)
-	for i := 0; i < pn1; i++ {
-		outs[i] = buildCounting(b, in[i*blockLen:(i+1)*blockLen], factors[:n-1], cfg, label)
-	}
-	return merger(b, factors, outs, cfg, label)
+	return e.cached(e.keyFactors("C", factors, true), in, label, func(e *buildEnv, in []int, label string) []int {
+		pn1 := factors[n-1]
+		blockLen := len(in) / pn1
+		outs := make([][]int, pn1)
+		for i := 0; i < pn1; i++ {
+			outs[i] = e.counting(in[i*blockLen:(i+1)*blockLen], factors[:n-1], label)
+		}
+		return e.merger(factors, outs, label)
+	})
 }
 
 // MergerNetwork builds a standalone M(p0,...,pn-1) under cfg. Input
@@ -101,6 +116,6 @@ func MergerNetwork(cfg Config, factors ...int) (*network.Network, error) {
 		inputs[i] = id[i*each : (i+1)*each]
 	}
 	name := factorsName("M", factors)
-	out := merger(b, factors, inputs, cfg, name)
+	out := newEnv(b, cfg).merger(factors, inputs, name)
 	return b.Build(name, out), nil
 }

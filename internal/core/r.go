@@ -2,8 +2,6 @@ package core
 
 import (
 	"fmt"
-
-	"countnet/internal/network"
 )
 
 // isqrt returns the integer square root floor(sqrt(n)) for n >= 0.
@@ -43,13 +41,21 @@ func isqrt(n int) int {
 // guarantee every balancer has width at most max(p,q). Degenerate
 // regions (width 0 or 1, or small enough for one balancer) collapse to
 // nothing or a single balancer, which can only reduce depth.
-func buildR(b *network.Builder, in []int, p, q int, label string) []int {
+func (e *buildEnv) buildR(in []int, p, q int, label string) []int {
 	if p < 2 || q < 2 {
 		panic(fmt.Sprintf("core: R(%d,%d) requires p,q >= 2", p, q))
 	}
 	if len(in) != p*q {
 		panic(fmt.Sprintf("core: R(%d,%d) over %d wires", p, q, len(in)))
 	}
+	return e.cached(e.key3("R", p, q, 0, false), in, label, func(e *buildEnv, in []int, label string) []int {
+		return e.buildRRaw(in, p, q, label)
+	})
+}
+
+// buildRRaw derives R(p,q) gate-by-gate; buildR memoizes around it.
+func (e *buildEnv) buildRRaw(in []int, p, q int, label string) []int {
+	b := e.b
 	m := p
 	if q > m {
 		m = q
@@ -92,7 +98,7 @@ func buildR(b *network.Builder, in []int, p, q int, label string) []int {
 					p, q, what, len(wires), kFactors))
 			}
 		}
-		return buildCounting(b, wires, kFactors, KConfig(), label+"/"+what+".K")
+		return e.withConfig(KConfig()).counting(wires, kFactors, label+"/"+what+".K")
 	}
 
 	// Quadrant A: phat^2 x qhat^2 via K(phat,phat,qhat,qhat).
@@ -101,12 +107,12 @@ func buildR(b *network.Builder, in []int, p, q int, label string) []int {
 	// Quadrant B: phat^2 x qbar, split by columns into B0 | B1.
 	b0Out := step(region(0, ph*ph, qh*qh, qh*qh+qb0), []int{qb0, ph, ph}, "B0")
 	b1Out := step(region(0, ph*ph, qh*qh+qb0, q), []int{qb1, ph, ph}, "B1")
-	bOut := twoMerger(b, ph*ph, b0Out, b1Out, false, label+"/T.B")
+	bOut := e.twoMerger(ph*ph, b0Out, b1Out, false, label+"/T.B")
 
 	// Quadrant C: pbar x qhat^2, split by rows into C0 / C1.
 	c0Out := step(region(ph*ph, ph*ph+pb0, 0, qh*qh), []int{pb0, qh, qh}, "C0")
 	c1Out := step(region(ph*ph+pb0, p, 0, qh*qh), []int{pb1, qh, qh}, "C1")
-	cOut := twoMerger(b, qh*qh, c0Out, c1Out, false, label+"/T.C")
+	cOut := e.twoMerger(qh*qh, c0Out, c1Out, false, label+"/T.C")
 
 	// Quadrant D: pbar x qbar, quartered; each quarter fits in a single
 	// balancer (appendix equation 3).
@@ -114,12 +120,12 @@ func buildR(b *network.Builder, in []int, p, q int, label string) []int {
 	d01 := step(region(ph*ph, ph*ph+pb0, qh*qh+qb0, q), nil, "D01")
 	d10 := step(region(ph*ph+pb0, p, qh*qh, qh*qh+qb0), nil, "D10")
 	d11 := step(region(ph*ph+pb0, p, qh*qh+qb0, q), nil, "D11")
-	dTop := twoMerger(b, pb0, d00, d01, false, label+"/T.D0")
-	dBot := twoMerger(b, pb1, d10, d11, false, label+"/T.D1")
-	dOut := twoMerger(b, qb, dTop, dBot, false, label+"/T.D")
+	dTop := e.twoMerger(pb0, d00, d01, false, label+"/T.D0")
+	dBot := e.twoMerger(pb1, d10, d11, false, label+"/T.D1")
+	dOut := e.twoMerger(qb, dTop, dBot, false, label+"/T.D")
 
 	// Merge A'B' and C'D', then the halves.
-	abOut := twoMerger(b, ph*ph, aOut, bOut, false, label+"/T.AB")
-	cdOut := twoMerger(b, pb, cOut, dOut, false, label+"/T.CD")
-	return twoMerger(b, q, abOut, cdOut, false, label+"/T.fin")
+	abOut := e.twoMerger(ph*ph, aOut, bOut, false, label+"/T.AB")
+	cdOut := e.twoMerger(pb, cOut, dOut, false, label+"/T.CD")
+	return e.twoMerger(q, abOut, cdOut, false, label+"/T.fin")
 }

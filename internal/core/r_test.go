@@ -180,5 +180,5 @@ func TestRDegenerateBuildPanics(t *testing.T) {
 		}
 	}()
 	b := newTestBuilder(2)
-	buildR(b, identity(2), 1, 2, "bad")
+	newEnv(b, Config{}).buildR(identity(2), 1, 2, "bad")
 }

@@ -16,7 +16,7 @@ import (
 // is partitioned into r blocks A_0..A_{r-1} of p rows each; block
 // sequences are read in row-major order, and the output is A in
 // row-major order, i.e. the concatenation of the final block orderings.
-func staircase(b *network.Builder, r, p, q int, xs [][]int, cfg Config, label string) []int {
+func (e *buildEnv) staircase(r, p, q int, xs [][]int, label string) []int {
 	if len(xs) != q {
 		panic(fmt.Sprintf("core: staircase %q got %d inputs, want q=%d", label, len(xs), q))
 	}
@@ -25,6 +25,23 @@ func staircase(b *network.Builder, r, p, q int, xs [][]int, cfg Config, label st
 			panic(fmt.Sprintf("core: staircase %q input %d has length %d, want r*p=%d", label, i, len(x), r*p))
 		}
 	}
+	flat := make([]int, 0, r*p*q)
+	for _, x := range xs {
+		flat = append(flat, x...)
+	}
+	return e.cached(e.key3("S", r, p, q, true), flat, label, func(e *buildEnv, in []int, label string) []int {
+		parts := make([][]int, q)
+		for i := range parts {
+			parts[i] = in[i*r*p : (i+1)*r*p]
+		}
+		return e.staircaseRaw(r, p, q, parts, label)
+	})
+}
+
+// staircaseRaw derives the staircase gate-by-gate; staircase memoizes
+// around it.
+func (e *buildEnv) staircaseRaw(r, p, q int, xs [][]int, label string) []int {
+	b, cfg := e.b, e.cfg
 
 	// Block i, read in row-major order: element j of the block sits in
 	// absolute row i*p + j/q, column j%q; column c of A is xs[c].
@@ -40,7 +57,7 @@ func staircase(b *network.Builder, r, p, q int, xs [][]int, cfg Config, label st
 	// First layer: give each block the step property with the base
 	// counting network C(p,q).
 	for i := 0; i < r; i++ {
-		blocks[i] = cfg.Base(b, blocks[i], p, q, label+"/S.base")
+		blocks[i] = e.callBase(blocks[i], p, q, label+"/S.base")
 	}
 	if r == 1 {
 		// A single block: the base network already produced the step
@@ -74,9 +91,9 @@ func staircase(b *network.Builder, r, p, q int, xs [][]int, cfg Config, label st
 		// Final layer: fix the bitonic discrepancy in every block.
 		for i := 0; i < r; i++ {
 			if cfg.Staircase == StaircaseOptBase {
-				blocks[i] = cfg.Base(b, blocks[i], p, q, label+"/S.fin")
+				blocks[i] = e.callBase(blocks[i], p, q, label+"/S.fin")
 			} else {
-				blocks[i] = bitonicConverter(b, p, blocks[i], label+"/S.D")
+				blocks[i] = e.bitonic(p, blocks[i], label+"/S.D")
 			}
 		}
 
@@ -90,7 +107,7 @@ func staircase(b *network.Builder, r, p, q int, xs [][]int, cfg Config, label st
 			if upper > lower {
 				upper, lower = lower, upper
 			}
-			out := twoMerger(b, p, blocks[upper], blocks[lower], sub, label+"/S.T")
+			out := e.twoMerger(p, blocks[upper], blocks[lower], sub, label+"/S.T")
 			blocks[upper] = out[:p*q]
 			blocks[lower] = out[p*q:]
 		}
@@ -137,6 +154,6 @@ func StaircaseNetwork(cfg Config, r, p, q int) (*network.Network, error) {
 		xs[i] = network.Identity(width)[i*r*p : (i+1)*r*p]
 	}
 	name := fmt.Sprintf("S(%d,%d,%d)", r, p, q)
-	out := staircase(b, r, p, q, xs, cfg, name)
+	out := newEnv(b, cfg).staircase(r, p, q, xs, name)
 	return b.Build(name, out), nil
 }

@@ -25,7 +25,7 @@ import (
 //
 // Degenerate widths are handled naturally: empty inputs pass the other
 // input through, and width-1 gates are skipped by the builder.
-func twoMerger(b *network.Builder, p int, x0, x1 []int, subRows bool, label string) []int {
+func (e *buildEnv) twoMerger(p int, x0, x1 []int, subRows bool, label string) []int {
 	if len(x0) == 0 {
 		return x1
 	}
@@ -38,6 +38,23 @@ func twoMerger(b *network.Builder, p int, x0, x1 []int, subRows bool, label stri
 	if len(x0)%p != 0 || len(x1)%p != 0 {
 		panic(fmt.Sprintf("core: twoMerger %q inputs %d,%d not multiples of p=%d", label, len(x0), len(x1), p))
 	}
+	q0, q1 := len(x0)/p, len(x1)/p
+	kind := "T"
+	if subRows {
+		kind = "Ts"
+	}
+	key := e.key3(kind, p, q0, q1, false)
+	flat := make([]int, 0, len(x0)+len(x1))
+	flat = append(append(flat, x0...), x1...)
+	return e.cached(key, flat, label, func(e *buildEnv, in []int, label string) []int {
+		return e.twoMergerRaw(p, in[:p*q0], in[p*q0:], subRows, label)
+	})
+}
+
+// twoMergerRaw derives the two-merger gate-by-gate; twoMerger memoizes
+// around it.
+func (e *buildEnv) twoMergerRaw(p int, x0, x1 []int, subRows bool, label string) []int {
+	b := e.b
 	q0, q1 := len(x0)/p, len(x1)/p
 	cols := q0 + q1
 
@@ -56,7 +73,7 @@ func twoMerger(b *network.Builder, p int, x0, x1 []int, subRows bool, label stri
 	// First layer: one balancer across each row.
 	for r := 0; r < p; r++ {
 		if subRows && q0 == q1 && cols >= 4 {
-			w[r] = substituteRow(b, w[r], label)
+			w[r] = e.substituteRow(w[r], label)
 		} else {
 			b.Add(w[r], label+"/row")
 		}
@@ -85,14 +102,14 @@ func twoMerger(b *network.Builder, p int, x0, x1 []int, subRows bool, label stri
 // sequence (stride of a reverse-column-major matrix); T(k,1,1) needs
 // two step inputs, so the right half is fed reversed. The returned
 // ordering replaces the row left to right.
-func substituteRow(b *network.Builder, row []int, label string) []int {
+func (e *buildEnv) substituteRow(row []int, label string) []int {
 	k := len(row) / 2
 	left := append([]int(nil), row[:k]...)
 	right := make([]int, k)
 	for i := 0; i < k; i++ {
 		right[i] = row[len(row)-1-i]
 	}
-	return twoMerger(b, k, left, right, false, label+"/rowsub")
+	return e.twoMerger(k, left, right, false, label+"/rowsub")
 }
 
 // TwoMergerNetwork builds a standalone T(p,q0,q1) whose first input
@@ -106,6 +123,6 @@ func TwoMergerNetwork(p, q0, q1 int) (*network.Network, error) {
 	b := network.NewBuilder(width)
 	all := network.Identity(width)
 	name := fmt.Sprintf("T(%d,%d,%d)", p, q0, q1)
-	out := twoMerger(b, p, all[:p*q0], all[p*q0:], false, name)
+	out := newEnv(b, Config{}).twoMerger(p, all[:p*q0], all[p*q0:], false, name)
 	return b.Build(name, out), nil
 }

@@ -106,7 +106,7 @@ func TestTwoMergerSubstitutedRows(t *testing.T) {
 		for q := 2; q <= 3; q++ {
 			b := newTestBuilder(p * 2 * q)
 			all := identity(p * 2 * q)
-			out := twoMerger(b, p, all[:p*q], all[p*q:], true, "sub")
+			out := newEnv(b, Config{}).twoMerger(p, all[:p*q], all[p*q:], true, "sub")
 			net := b.Build("Tsub", out)
 			if err := net.Validate(); err != nil {
 				t.Fatalf("T-sub(%d,%d,%d): %v", p, q, q, err)

@@ -229,7 +229,34 @@ type Builder struct {
 	width     int
 	gates     []Gate
 	wireDepth []int
+	// wireArena backs the Wires slices of appended gates in large
+	// chunks, so a build of g gates costs O(log g) wire allocations
+	// instead of g. Exhausted chunks are abandoned, not grown: gates
+	// already point into them.
+	wireArena []int
 	err       error
+}
+
+// copyWires stores a private copy of wires in the arena.
+func (b *Builder) copyWires(wires []int) []int {
+	if cap(b.wireArena)-len(b.wireArena) < len(wires) {
+		// Chunks scale with the build: small networks stay small,
+		// large ones amortize quickly.
+		n := 2 * cap(b.wireArena)
+		if min := 2 * b.width; n < min {
+			n = min
+		}
+		if n > 1<<16 {
+			n = 1 << 16
+		}
+		for n < len(wires) {
+			n *= 2
+		}
+		b.wireArena = make([]int, 0, n)
+	}
+	lo := len(b.wireArena)
+	b.wireArena = append(b.wireArena, wires...)
+	return b.wireArena[lo:len(b.wireArena):len(b.wireArena)]
 }
 
 // NewBuilder returns a Builder for a network of the given width.
@@ -268,26 +295,64 @@ func (b *Builder) Add(wires []int, label string) {
 	if len(wires) < 2 {
 		return
 	}
+	// Duplicate check: a linear scan beats a map allocation for the
+	// narrow gates that dominate every construction.
+	if len(wires) <= 16 {
+		for i := 1; i < len(wires); i++ {
+			for j := 0; j < i; j++ {
+				if wires[i] == wires[j] {
+					panic(fmt.Sprintf("network: gate %q touches wire %d twice", label, wires[i]))
+				}
+			}
+		}
+	} else {
+		seen := make(map[int]bool, len(wires))
+		for _, w := range wires {
+			if seen[w] {
+				panic(fmt.Sprintf("network: gate %q touches wire %d twice", label, w))
+			}
+			seen[w] = true
+		}
+	}
+	b.AddValidated(wires, label)
+}
+
+// AddValidated is Add without the duplicate-wire check: for callers
+// replaying gate lists that the builder already validated once (package
+// core's construction templates). Out-of-range wires still panic.
+func (b *Builder) AddValidated(wires []int, label string) {
+	if len(wires) < 2 {
+		return
+	}
 	layer := 0
-	seen := make(map[int]bool, len(wires))
 	for _, w := range wires {
 		if w < 0 || w >= b.width {
 			panic(fmt.Sprintf("network: gate %q touches wire %d outside width %d", label, w, b.width))
 		}
-		if seen[w] {
-			panic(fmt.Sprintf("network: gate %q touches wire %d twice", label, w))
-		}
-		seen[w] = true
 		if b.wireDepth[w] > layer {
 			layer = b.wireDepth[w]
 		}
 	}
 	layer++
-	g := Gate{ID: len(b.gates), Wires: append([]int(nil), wires...), Layer: layer, Label: label}
+	g := Gate{ID: len(b.gates), Wires: b.copyWires(wires), Layer: layer, Label: label}
 	for _, w := range wires {
 		b.wireDepth[w] = layer
 	}
+	// Grow by doubling: the runtime's 1.25x policy for large slices
+	// re-copies this hot, pointer-bearing slice far too often.
+	if len(b.gates) == cap(b.gates) {
+		ng := make([]Gate, len(b.gates), 2*cap(b.gates)+16)
+		copy(ng, b.gates)
+		b.gates = ng
+	}
 	b.gates = append(b.gates, g)
+}
+
+// GateAt returns the wires and label of gate i (0 <= i < GateCount).
+// The returned slice is the builder's own; callers must not mutate it.
+func (b *Builder) GateAt(i int) ([]int, string) {
+	g := &b.gates[i]
+	return g.Wires, g.Label
 }
 
 // Barrier raises every listed wire to the current maximum depth among

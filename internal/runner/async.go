@@ -23,15 +23,32 @@ import (
 type Async struct {
 	width  int
 	entry  []int32 // first gate per wire, -1 if none
+	hot    []asyncHot
 	gates  []asyncGate
 	outPos []int32 // wire -> position in the output order
 }
 
-type asyncGate struct {
-	_     [64]byte // pad to keep hot counters on distinct cache lines
+// asyncHot is a gate's contended state, isolated from everything else:
+// the atomic count (lock-free mode) and the mutex-guarded seq (lock
+// mode) sit at the front of a 128-byte element, so in the hot slice no
+// two gates' counters ever share a 64-byte cache line — regardless of
+// the slice's base alignment — and a gate's read-only routing data
+// (asyncGate) is never invalidated by counter traffic. The previous
+// layout padded only *before* the counter inside a 144-byte struct,
+// leaving each gate's counter on the same line as its routing slice
+// headers. 128 rather than 64 also defeats adjacent-line prefetching
+// between neighbouring counters.
+type asyncHot struct {
 	count atomic.Int64
 	mu    sync.Mutex
 	seq   int64 // counter used under mutex traversal
+	_     [128 - 24]byte
+}
+
+// asyncGate is the gate's immutable routing data, packed separately
+// from the contended counters so concurrent readers share these lines
+// cleanly.
+type asyncGate struct {
 	width int64
 	wires []int32
 	next  []int32 // next gate per port, -1 if the token exits
@@ -43,6 +60,7 @@ func Compile(net *network.Network) *Async {
 	a := &Async{
 		width:  w,
 		entry:  make([]int32, w),
+		hot:    make([]asyncHot, net.Size()),
 		gates:  make([]asyncGate, net.Size()),
 		outPos: make([]int32, w),
 	}
@@ -93,7 +111,7 @@ func (a *Async) Traverse(entryWire int) int {
 	gid := a.entry[wire]
 	for gid >= 0 {
 		g := &a.gates[gid]
-		i := g.count.Add(1) - 1
+		i := a.hot[gid].count.Add(1) - 1
 		port := i % g.width
 		wire = g.wires[port]
 		gid = g.next[port]
@@ -116,7 +134,7 @@ func (a *Async) TraverseHooked(entryWire int, yield func(op string)) int {
 	for gid >= 0 {
 		g := &a.gates[gid]
 		yield(fmt.Sprintf("gate %d", gid))
-		i := g.count.Add(1) - 1
+		i := a.hot[gid].count.Add(1) - 1
 		port := i % g.width
 		wire = g.wires[port]
 		gid = g.next[port]
@@ -134,10 +152,11 @@ func (a *Async) TraverseMutex(entryWire int) int {
 	gid := a.entry[wire]
 	for gid >= 0 {
 		g := &a.gates[gid]
-		g.mu.Lock()
-		i := g.seq
-		g.seq++
-		g.mu.Unlock()
+		h := &a.hot[gid]
+		h.mu.Lock()
+		i := h.seq
+		h.seq++
+		h.mu.Unlock()
 		port := i % g.width
 		wire = g.wires[port]
 		gid = g.next[port]
@@ -148,9 +167,9 @@ func (a *Async) TraverseMutex(entryWire int) int {
 // Reset clears all balancer state (both modes), returning the network
 // to its initial quiescent configuration.
 func (a *Async) Reset() {
-	for i := range a.gates {
-		a.gates[i].count.Store(0)
-		a.gates[i].seq = 0
+	for i := range a.hot {
+		a.hot[i].count.Store(0)
+		a.hot[i].seq = 0
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"unsafe"
 
 	"countnet/internal/network"
 	"countnet/internal/seq"
@@ -168,5 +169,24 @@ func TestExitCountsSingleWorkerDeterministic(t *testing.T) {
 	got := a.ExitCounts(5, 1)
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("single-worker ExitCounts %v, want %v", got, want)
+	}
+}
+
+// TestAsyncHotIsolation pins the layout contract of asyncHot: each
+// gate's contended state must start a fresh 128-byte element, so no
+// two counters can share a cache line (or an adjacent-line prefetch
+// pair) whatever the slice's base alignment.
+func TestAsyncHotIsolation(t *testing.T) {
+	size := unsafe.Sizeof(asyncHot{})
+	if size != 128 {
+		t.Fatalf("asyncHot is %d bytes, want exactly 128", size)
+	}
+	if off := unsafe.Offsetof(asyncHot{}.count); off != 0 {
+		t.Fatalf("count at offset %d, want 0", off)
+	}
+	var hs [2]asyncHot
+	delta := uintptr(unsafe.Pointer(&hs[1].count)) - uintptr(unsafe.Pointer(&hs[0].count))
+	if delta < 128 {
+		t.Fatalf("adjacent counters %d bytes apart, want >= 128", delta)
 	}
 }

@@ -17,7 +17,6 @@ package runner
 
 import (
 	"fmt"
-	"sort"
 
 	"countnet/internal/network"
 )
@@ -78,7 +77,7 @@ func ApplyComparatorsFunc[T any](net *network.Network, in []T, less func(a, b T)
 		for i, wire := range g.Wires {
 			t[i] = vals[wire]
 		}
-		sort.SliceStable(t, func(a, b int) bool { return less(t[b], t[a]) })
+		insertionSortDescFunc(t, less)
 		for i, wire := range g.Wires {
 			vals[wire] = t[i]
 		}

@@ -134,6 +134,19 @@ func TestApplyComparatorsFuncStable(t *testing.T) {
 	}
 }
 
+func TestApplyComparatorsFuncAllocBound(t *testing.T) {
+	// The generic path may allocate its working copy, gate buffer and
+	// output — nothing more (in particular no per-gate closures or
+	// sort.SliceStable machinery).
+	net := twoSorter()
+	in := []int64{4, 1, 3, 2}
+	less := func(a, b int64) bool { return a < b }
+	allocs := testing.AllocsPerRun(100, func() { ApplyComparatorsFunc(net, in, less) })
+	if allocs > 3 {
+		t.Errorf("ApplyComparatorsFunc allocates %v times per run, want <= 3", allocs)
+	}
+}
+
 func TestApplyComparatorsEmptyNetwork(t *testing.T) {
 	n := network.NewBuilder(3).Build("empty", nil)
 	in := []int64{3, 1, 2}

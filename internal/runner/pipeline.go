@@ -8,70 +8,33 @@ import (
 	"countnet/internal/network"
 )
 
-// Sorter is a reusable comparator-semantics executor with preallocated
-// scratch, for hot loops where ApplyComparators' per-call allocation
-// matters. Not safe for concurrent use; create one per goroutine.
+// Sorter is a reusable comparator-semantics executor with a compiled
+// plan and preallocated scratch, for hot loops where ApplyComparators'
+// per-call allocation matters. Not safe for concurrent use; create one
+// per goroutine (they can share one Plan via NewPlanSorter).
 type Sorter struct {
-	net *network.Network
-	buf []int64
-	out []int64
+	plan *Plan
+	s    *Scratch
+	out  []int64
 }
 
-// NewSorter prepares a Sorter for the network.
+// NewSorter compiles the network and prepares a Sorter for it.
 func NewSorter(net *network.Network) *Sorter {
-	return &Sorter{
-		net: net,
-		buf: make([]int64, net.MaxGateWidth()),
-		out: make([]int64, net.Width()),
-	}
+	return NewPlanSorter(CompilePlan(net))
 }
 
-// Sort sorts one batch in place of the internal buffer and returns it
-// in network output order (descending). The returned slice is reused by
-// the next call; copy it if you keep it.
+// NewPlanSorter prepares a Sorter over an already-compiled plan,
+// sharing the immutable plan across goroutines.
+func NewPlanSorter(plan *Plan) *Sorter {
+	return &Sorter{plan: plan, s: plan.NewScratch(), out: make([]int64, plan.Width())}
+}
+
+// Sort sorts one batch into the internal buffer and returns it in
+// network output order (descending). The returned slice is reused by
+// the next call; copy it if you keep it. Sort performs no allocation.
 func (s *Sorter) Sort(in []int64) []int64 {
-	if len(in) != s.net.Width() {
-		panic(fmt.Sprintf("runner: %d inputs for width-%d network", len(in), s.net.Width()))
-	}
-	copy(s.out, in) // out doubles as the wire-value scratch
-	vals := s.out
-	for gi := range s.net.Gates {
-		g := &s.net.Gates[gi]
-		t := s.buf[:g.Width()]
-		for i, wire := range g.Wires {
-			t[i] = vals[wire]
-		}
-		insertionSortDesc(t)
-		for i, wire := range g.Wires {
-			vals[wire] = t[i]
-		}
-	}
-	// Remap to output order in place via a temp walk (widths are small;
-	// allocate-free by permuting through buf chunks would be fiddly —
-	// use a second fixed buffer).
-	if s.outOrderIsIdentity() {
-		return vals
-	}
-	tmp := s.buf
-	if cap(tmp) < len(vals) {
-		tmp = make([]int64, len(vals))
-		s.buf = tmp
-	}
-	tmp = tmp[:len(vals)]
-	for k, wire := range s.net.OutputOrder {
-		tmp[k] = vals[wire]
-	}
-	copy(vals, tmp)
-	return vals
-}
-
-func (s *Sorter) outOrderIsIdentity() bool {
-	for i, w := range s.net.OutputOrder {
-		if i != w {
-			return false
-		}
-	}
-	return true
+	s.plan.Apply(s.out, in, s.s)
+	return s.out
 }
 
 func insertionSortDesc(t []int64) {
@@ -79,6 +42,22 @@ func insertionSortDesc(t []int64) {
 		v := t[i]
 		j := i - 1
 		for j >= 0 && t[j] < v {
+			t[j+1] = t[j]
+			j--
+		}
+		t[j+1] = v
+	}
+}
+
+// insertionSortDescFunc sorts t descending by less, stably: among
+// elements neither of which is less than the other, input order is
+// kept. Gate widths are bounded by MaxGateWidth, where insertion sort
+// beats the allocation and indirection of the sort package.
+func insertionSortDescFunc[T any](t []T, less func(a, b T) bool) {
+	for i := 1; i < len(t); i++ {
+		v := t[i]
+		j := i - 1
+		for j >= 0 && less(t[j], v) {
 			t[j+1] = t[j]
 			j--
 		}
@@ -166,11 +145,18 @@ func (p *Pipeline) Wait() { p.wg.Wait() }
 func (p *Pipeline) OutputOrder() []int { return p.net.OutputOrder }
 
 // SortBatches sorts every batch through the network using `workers`
-// data-parallel goroutines, each with a private Sorter. Batches are
-// replaced in place with their sorted contents in network output order
-// (descending). It complements Pipeline: data parallelism across
-// batches rather than pipeline parallelism across layers.
+// data-parallel goroutines over one shared compiled plan, each worker
+// with private scratch. Batches are replaced in place with their sorted
+// contents in network output order (descending). It complements
+// Pipeline: data parallelism across batches rather than pipeline
+// parallelism across layers.
 func SortBatches(net *network.Network, batches [][]int64, workers int) {
+	CompilePlan(net).SortBatches(batches, workers)
+}
+
+// SortBatches is the plan-level SortBatches: callers holding a compiled
+// plan skip recompilation.
+func (plan *Plan) SortBatches(batches [][]int64, workers int) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -180,19 +166,28 @@ func SortBatches(net *network.Network, batches [][]int64, workers int) {
 	if workers == 0 {
 		return
 	}
+	if workers == 1 {
+		plan.ApplyBatches(batches, 0)
+		return
+	}
+	// Hand out contiguous blocks so each worker streams its share
+	// through the cache-blocked path.
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for g := 0; g < workers; g++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s := NewSorter(net)
 			for {
-				k := int(next.Add(1) - 1)
+				k := int(next.Add(1)-1) * DefaultBatchBlock
 				if k >= len(batches) {
 					return
 				}
-				copy(batches[k], s.Sort(batches[k]))
+				hi := k + DefaultBatchBlock
+				if hi > len(batches) {
+					hi = len(batches)
+				}
+				plan.ApplyBatches(batches[k:hi], 0)
 			}
 		}()
 	}

@@ -15,9 +15,10 @@ type BatchSorter struct {
 	asc   []int64
 }
 
-// NewBatchSorter prepares a BatchSorter for the network.
+// NewBatchSorter prepares a BatchSorter for the network, sharing the
+// network's cached evaluation plan.
 func NewBatchSorter(n *Network) *BatchSorter {
-	return &BatchSorter{inner: runner.NewSorter(n.inner), net: n.inner, asc: make([]int64, n.Width())}
+	return &BatchSorter{inner: runner.NewPlanSorter(n.evalPlan()), net: n.inner, asc: make([]int64, n.Width())}
 }
 
 // Sort sorts one batch of exactly Width values ascending. The returned
@@ -39,7 +40,7 @@ func (n *Network) SortBatches(batches [][]int64, workers int) error {
 			return fmt.Errorf("countnet: batch %d has %d values for width-%d network", i, len(b), n.Width())
 		}
 	}
-	runner.SortBatches(n.inner, batches, workers)
+	n.evalPlan().SortBatches(batches, workers)
 	for _, b := range batches {
 		for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
 			b[i], b[j] = b[j], b[i]

@@ -31,6 +31,22 @@ func TestBatchSorter(t *testing.T) {
 	}
 }
 
+func TestBatchSorterAllocationFree(t *testing.T) {
+	n, err := NewK(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewBatchSorter(n)
+	rng := rand.New(rand.NewSource(7))
+	in := make([]int64, n.Width())
+	for i := range in {
+		in[i] = int64(rng.Intn(1000))
+	}
+	if allocs := testing.AllocsPerRun(100, func() { s.Sort(in) }); allocs != 0 {
+		t.Errorf("BatchSorter.Sort allocates %v times per run, want 0", allocs)
+	}
+}
+
 func TestSortStream(t *testing.T) {
 	n, err := NewK(2, 2, 2)
 	if err != nil {
