@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench bench-plan bench-smoke fuzz soak vet fmt experiments examples clean
+.PHONY: all build test race short bench bench-plan bench-counter bench-smoke fuzz soak vet fmt experiments examples clean
 
 all: build vet test
 
@@ -36,15 +36,27 @@ bench-plan:
 	$(GO) test -run '^$$' -bench $(BENCH_KEY) -benchmem -benchtime 300ms . \
 		| $(GO) run ./cmd/benchjson -out BENCH_plan.json -set current
 
-# One-iteration smoke of the same lane for CI: proves the benchmarks
+# Counter-engine benchmarks (per-token, combining, batched traversal),
+# recorded to BENCH_counter.json with the same preserve-other-sets
+# semantics as bench-plan.
+BENCH_COUNTER_KEY = 'BenchmarkCounter|BenchmarkTraverseBatch'
+
+bench-counter:
+	$(GO) test -run '^$$' -bench $(BENCH_COUNTER_KEY) -benchmem -benchtime 300ms . \
+		| $(GO) run ./cmd/benchjson -out BENCH_counter.json -set current
+
+# One-iteration smoke of the same lanes for CI: proves the benchmarks
 # and the JSON tooling run, without timing anything.
 bench-smoke:
 	$(GO) test -run '^$$' -bench $(BENCH_KEY) -benchmem -benchtime 1x . \
 		| $(GO) run ./cmd/benchjson -out /tmp/bench_smoke.json -set smoke
+	$(GO) test -run '^$$' -bench $(BENCH_COUNTER_KEY) -benchmem -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson -out /tmp/bench_counter_smoke.json -set smoke
 
 # Continuous fuzzing entry points (each runs until interrupted).
 fuzz:
 	$(GO) test -fuzz=FuzzApplyTokensStep -fuzztime=30s ./internal/runner
+	$(GO) test -fuzz=FuzzBatchVsSerial -fuzztime=30s ./internal/runner
 	$(GO) test -fuzz=FuzzComparatorsSort -fuzztime=30s ./internal/runner
 	$(GO) test -fuzz=FuzzJSONUnmarshal -fuzztime=30s ./internal/network
 	$(GO) test -run '^$$' -fuzz=FuzzCounterSchedules -fuzztime=30s ./internal/counter
@@ -53,6 +65,7 @@ fuzz:
 # Nightly-scale schedule exploration (see docs/TESTING.md).
 soak:
 	$(GO) test -tags soak -run Soak -timeout 20m -v ./internal/sched
+	$(GO) test -tags soak -run Soak -timeout 20m -v ./internal/counter
 	$(GO) test -run Soak -timeout 20m ./internal/core
 
 experiments:

@@ -1,6 +1,7 @@
 package countnet
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -405,4 +406,74 @@ func itoa(v int) string {
 		v /= 10
 	}
 	return string(buf[i:])
+}
+
+// BenchmarkCounterCombining measures the flat-combining counter over
+// the same networks as BenchmarkCounter, per value (block1) and in
+// blocks of 16 (block16). ns/op is per issued value in both cases, so
+// rows compare directly against the BenchmarkCounter engines.
+func BenchmarkCounterCombining(b *testing.B) {
+	for _, fs := range [][]int{{16}, {4, 4}} {
+		n, err := core.L(fs...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := counter.NewCombiningCounter(n)
+		var id atomic.Int64
+		b.Run("block1_"+n.Name, func(b *testing.B) {
+			b.RunParallel(func(pb *testing.PB) {
+				h := c.Handle(int(id.Add(1)))
+				for pb.Next() {
+					h.Next()
+				}
+			})
+		})
+		for _, block := range []int{16, 64} {
+			b.Run(fmt.Sprintf("block%d_%s", block, n.Name), func(b *testing.B) {
+				b.RunParallel(func(pb *testing.PB) {
+					h := c.Handle(int(id.Add(1))).(*counter.CombiningHandle)
+					dst := make([]int64, block)
+					i := 0
+					for pb.Next() {
+						if i == 0 {
+							h.NextBlock(dst)
+						}
+						i++
+						if i == len(dst) {
+							i = 0
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkTraverseBatch measures the batched propagation engine: one
+// reserved range per touched gate, regardless of the token count. The
+// ns/token metric shows the amortization — per-token cost falls as the
+// batch grows, where BenchmarkTraverse pays the full walk per token.
+func BenchmarkTraverseBatch(b *testing.B) {
+	for _, fs := range [][]int{{4, 4}, {2, 2, 2, 2}} {
+		n, err := core.L(fs...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := runner.Compile(n)
+		s := a.NewBatchScratch()
+		w := n.Width()
+		dst := make([]int64, w)
+		for _, tokens := range []int{1, 16, 256} {
+			in := make([]int64, w)
+			for i := 0; i < tokens; i++ {
+				in[i%w]++
+			}
+			b.Run(fmt.Sprintf("%s/tokens%d", n.Name, tokens), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					a.TraverseBatchInto(dst, in, s)
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*tokens), "ns/token")
+			})
+		}
+	}
 }

@@ -11,6 +11,8 @@
 //	countbench                                # default sweep, width 16
 //	countbench -width 32 -duration 200ms      # wider network, longer windows
 //	countbench -goroutines 1,4,16             # explicit thread counts
+//	countbench -counter network,combining     # choose counter engines
+//	countbench -counter combining -block 16   # block requests (values/sec)
 //	countbench -engine gates                  # sort via the gate-list walker
 package main
 
@@ -37,7 +39,8 @@ func main() {
 		width      = flag.Int("width", 16, "counting network width (all factorizations are swept)")
 		duration   = flag.Duration("duration", 100*time.Millisecond, "measurement window per cell")
 		goroutines = flag.String("goroutines", "", "comma-separated goroutine counts (default: 1,2,4,... to 2x GOMAXPROCS)")
-		mutex      = flag.Bool("mutex", false, "also measure lock-based balancers")
+		counters   = flag.String("counter", "atomic,mutex,network,combining", "comma-separated counter engines: atomic, mutex, network, network-mutex, combining")
+		block      = flag.Int("block", 1, "values drawn per operation (NextBlock when > 1); throughput counts values/sec")
 		repeat     = flag.Int("repeat", 3, "measurements per cell; cells report mean and relative stddev")
 		engine     = flag.String("engine", "plan", "batch-sort engine: gates (gate-list walker), plan (compiled plan), or parallel (layer-parallel plan)")
 		sortBatch  = flag.Int("sortbatches", 4096, "batches per batch-sort measurement")
@@ -51,6 +54,21 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "countbench: unknown engine %q (want gates, plan or parallel)\n", *engine)
 		os.Exit(2)
+	}
+	if *block < 1 {
+		*block = 1
+	}
+	want := map[string]bool{}
+	for _, part := range strings.Split(*counters, ",") {
+		name := strings.TrimSpace(part)
+		switch name {
+		case "atomic", "mutex", "network", "network-mutex", "combining":
+			want[name] = true
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "countbench: unknown counter %q (want atomic, mutex, network, network-mutex or combining)\n", name)
+			os.Exit(2)
+		}
 	}
 
 	steps := bench.DefaultGoroutineSteps()
@@ -68,7 +86,7 @@ func main() {
 
 	tbl := &bench.Table{
 		ID:    "countbench",
-		Title: fmt.Sprintf("Fetch&Increment throughput, width %d (ops/sec)", *width),
+		Title: fmt.Sprintf("Fetch&Increment throughput, width %d, block %d (values/sec)", *width, *block),
 	}
 	tbl.Header = []string{"counter"}
 	for _, g := range steps {
@@ -79,7 +97,7 @@ func main() {
 		row := []interface{}{name}
 		for _, g := range steps {
 			s := stats.Repeat(*repeat, func() float64 {
-				return bench.MeasureCounter(mk(), bench.ThroughputOptions{Goroutines: g, Duration: *duration})
+				return bench.MeasureCounter(mk(), bench.ThroughputOptions{Goroutines: g, Duration: *duration, Block: *block})
 			})
 			cell := fmt.Sprintf("%.2fM", s.Mean/1e6)
 			if *repeat > 1 {
@@ -90,8 +108,12 @@ func main() {
 		tbl.AddRow(row...)
 	}
 
-	measure("atomic", func() counter.Counter { return counter.NewAtomicCounter() })
-	measure("mutex", func() counter.Counter { return counter.NewMutexCounter() })
+	if want["atomic"] {
+		measure("atomic", func() counter.Counter { return counter.NewAtomicCounter() })
+	}
+	if want["mutex"] {
+		measure("mutex", func() counter.Counter { return counter.NewMutexCounter() })
+	}
 	for _, fs := range factor.Factorizations(*width, 2) {
 		fs := fs
 		net, err := core.L(fs...)
@@ -100,9 +122,14 @@ func main() {
 			os.Exit(1)
 		}
 		name := fmt.Sprintf("L[%s] depth=%d bal<=%d", join(fs), net.Depth(), core.MaxFactor(fs))
-		measure(name, func() counter.Counter { return counter.NewNetworkCounter(net, false) })
-		if *mutex {
+		if want["network"] {
+			measure(name, func() counter.Counter { return counter.NewNetworkCounter(net, false) })
+		}
+		if want["network-mutex"] {
 			measure(name+" (mutex)", func() counter.Counter { return counter.NewNetworkCounter(net, true) })
+		}
+		if want["combining"] {
+			measure(name+" (combining)", func() counter.Counter { return counter.NewCombiningCounter(net) })
 		}
 	}
 	tbl.Fprint(os.Stdout)

@@ -302,19 +302,35 @@ func (n *Network) TraceTokens(entries []int) (string, error) {
 // are distinct; once the network is quiescent the issued values are
 // exactly 0..N-1.
 type Counter struct {
-	inner *counter.NetworkCounter
+	inner counter.Handled
 }
 
 // NewCounter builds a counter over the given counting network. The
 // caller is responsible for passing a network that actually counts
-// (anything from NewK/NewL/NewR/NewBitonic/NewPeriodic does).
+// (anything from NewK/NewL/NewR/NewBitonic/NewPeriodic does). Every
+// Next shepherds its own token through the balancers.
 func NewCounter(n *Network) *Counter {
 	return &Counter{inner: counter.NewNetworkCounter(n.inner, false)}
+}
+
+// NewCombiningCounter builds a flat-combining counter over the given
+// counting network: concurrent requests are drained by one combiner and
+// pushed through the network as a single batch (one fetch-and-add per
+// balancer per batch), then the claimed value blocks are handed back.
+// Same contract as NewCounter, higher throughput under contention and
+// for block draws; see docs/PERFORMANCE.md.
+func NewCombiningCounter(n *Network) *Counter {
+	return &Counter{inner: counter.NewCombiningCounter(n.inner)}
 }
 
 // Next issues the next value. Safe for concurrent use; in tight loops
 // prefer per-goroutine handles from Handle.
 func (c *Counter) Next() int64 { return c.inner.Next() }
+
+// NextBlock fills dst with len(dst) fresh values — distinct, and part
+// of the same gap-free 0..N-1 space as single draws. Combining counters
+// serve the whole block from one network batch.
+func (c *Counter) NextBlock(dst []int64) { nextBlock(c.inner, dst) }
 
 // CounterHandle is a single-goroutine view of a Counter.
 type CounterHandle struct {
@@ -329,6 +345,19 @@ func (c *Counter) Handle(id int) *CounterHandle {
 
 // Next issues the next value.
 func (h *CounterHandle) Next() int64 { return h.inner.Next() }
+
+// NextBlock fills dst with len(dst) fresh values (see Counter.NextBlock).
+func (h *CounterHandle) NextBlock(dst []int64) { nextBlock(h.inner, dst) }
+
+func nextBlock(c counter.Counter, dst []int64) {
+	if bc, ok := c.(counter.BlockCounter); ok {
+		bc.NextBlock(dst)
+		return
+	}
+	for i := range dst {
+		dst[i] = c.Next()
+	}
+}
 
 // RenderStepArrangements draws the step sequence of the given total
 // over r*c wires under all four Section 3.1 matrix arrangements — the
@@ -358,6 +387,22 @@ func NewBarrier(n *Network, parties int) *Barrier {
 // Await blocks until all parties of the caller's generation have
 // arrived and returns the 0-based generation number.
 func (b *Barrier) Await() int64 { return b.inner.Await() }
+
+// Handle returns a goroutine-local barrier view whose arrival tickets
+// bypass the ticket counter's shared entry dispatcher; id disperses the
+// handles' entry wires. Handles must not be shared.
+func (b *Barrier) Handle(id int) *BarrierHandle {
+	return &BarrierHandle{inner: b.inner.Handle(id)}
+}
+
+// BarrierHandle is a single-goroutine view of a Barrier.
+type BarrierHandle struct {
+	inner *counter.BarrierHandle
+}
+
+// Await blocks until all parties of the caller's generation have
+// arrived and returns the 0-based generation number.
+func (h *BarrierHandle) Await() int64 { return h.inner.Await() }
 
 // Factorizations lists every multiset factorization of w into factors
 // >= 2 (each non-increasing), the parameter space of the network

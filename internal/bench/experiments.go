@@ -487,6 +487,25 @@ func E9Throughput(width int, duration time.Duration) *Table {
 			return counter.NewNetworkCounter(mustL(fs...), false)
 		})
 	}
+	// Combining front-end over one representative network (the coarsest
+	// factorization: widest balancers, smallest depth — the shape batching
+	// amortizes best), per value and in blocks.
+	coarse := factor.Factorizations(width, 2)[0]
+	combName := fmt.Sprintf("combining L[%s]", factorsString(coarse))
+	addRow(combName, func() counter.Counter {
+		return counter.NewCombiningCounter(mustL(coarse...))
+	})
+	addBlockRow := func(name string, block int, mk func() counter.Counter) {
+		row := []interface{}{name}
+		for _, g := range steps {
+			ops := MeasureCounter(mk(), ThroughputOptions{Goroutines: g, Duration: duration, Block: block})
+			row = append(row, fmt.Sprintf("%.0f", ops/1000)+"k")
+		}
+		t.AddRow(row...)
+	}
+	addBlockRow(combName+" block=16", 16, func() counter.Counter {
+		return counter.NewCombiningCounter(mustL(coarse...))
+	})
 	return t
 }
 

@@ -29,9 +29,40 @@ func NewBarrier(n int, ctr Counter) *Barrier {
 
 // Await blocks until n parties (including the caller) have arrived in
 // the caller's generation, and returns the caller's generation number
-// (0-based). Reusable across generations.
+// (0-based). Reusable across generations. Arrival tickets come from the
+// barrier's shared counter; parties calling Await in a loop should hold
+// a Handle instead, so ticket draws skip the counter's shared entry
+// dispatcher.
 func (b *Barrier) Await() int64 {
-	t := b.ctr.Next()
+	return b.arrive(b.ctr.Next())
+}
+
+// Handle returns a single-goroutine view of the barrier whose arrival
+// tickets are drawn through a private counter handle (when the
+// underlying counter supports them); id disperses the handles' entry
+// wires. Handles must not be shared between goroutines.
+func (b *Barrier) Handle(id int) *BarrierHandle {
+	ctr := b.ctr
+	if h, ok := ctr.(Handled); ok {
+		ctr = h.Handle(id)
+	}
+	return &BarrierHandle{b: b, ctr: ctr}
+}
+
+// BarrierHandle is a single-goroutine view of a Barrier.
+type BarrierHandle struct {
+	b   *Barrier
+	ctr Counter
+}
+
+// Await is Barrier.Await drawing the arrival ticket from the handle's
+// private counter view.
+func (h *BarrierHandle) Await() int64 {
+	return h.b.arrive(h.ctr.Next())
+}
+
+// arrive completes an Await given the caller's arrival ticket.
+func (b *Barrier) arrive(t int64) int64 {
 	gen := t / b.n
 	boundary := (gen + 1) * b.n
 	b.mu.Lock()

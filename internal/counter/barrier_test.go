@@ -91,3 +91,45 @@ func TestBarrierRejectsBadSize(t *testing.T) {
 	}()
 	NewBarrier(0, NewAtomicCounter())
 }
+
+// TestBarrierHandles: the phases contract holds when every party draws
+// arrival tickets through a private barrier handle, and handles unwrap
+// to counter handles when the counter supports them.
+func TestBarrierHandles(t *testing.T) {
+	const parties, generations = 5, 30
+	b := NewBarrier(parties, barrierCounter(t))
+	var phaseCount [generations]atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < parties; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := b.Handle(p)
+			for g := 0; g < generations; g++ {
+				phaseCount[g].Add(1)
+				gen := h.Await()
+				if gen != int64(g) {
+					t.Errorf("party saw generation %d in phase %d", gen, g)
+					return
+				}
+				if got := phaseCount[g].Load(); got != parties {
+					t.Errorf("phase %d released with %d/%d arrivals", g, got, parties)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+// TestBarrierHandlePlainCounter: Handle over a counter without handle
+// support falls back to the shared counter.
+func TestBarrierHandlePlainCounter(t *testing.T) {
+	b := NewBarrier(1, NewMutexCounter())
+	h := b.Handle(0)
+	for g := int64(0); g < 5; g++ {
+		if got := h.Await(); got != g {
+			t.Fatalf("generation %d, want %d", got, g)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package counter
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"countnet/internal/network"
+	"countnet/internal/runner"
+)
+
+// CombiningCounter is a Fetch&Increment counter that flat-combines over
+// a counting network: instead of every goroutine shepherding its own
+// token through the balancers (one contended RMW per gate per token),
+// goroutines publish requests to padded per-handle slots and whichever
+// of them holds the combiner lock drains all pending requests, pushes
+// them through the network as ONE batch (runner.TraverseBatch — a
+// single fetch-and-add per touched gate), claims a value range from
+// each exit wire's local counter with one Add(k), and distributes the
+// claimed blocks back to the waiters. Under contention the per-token
+// cost drops from O(depth) contended RMWs to an amortized O(gates /
+// batch) uncontended ones.
+//
+// The combined batch is one legal execution of its tokens (see the
+// batching argument in runner/batch.go), so the counter keeps the
+// NetworkCounter contract: values are distinct always, and exactly
+// 0..N-1 once quiescent — whether requests arrive one value at a time
+// (Next) or in blocks (NextBlock).
+type CombiningCounter struct {
+	async   *runner.Async
+	width   int64
+	locals  []padded
+	slots   atomic.Pointer[[]*combineSlot] // registered handles, copy-on-write
+	regMu   sync.Mutex                     // guards slot registration
+	combine sync.Mutex                     // combiner lock; guards the fields below
+	cursor  int                            // next entry wire for round-robin injection
+	entry   []int64                        // scratch: per-wire entry counts
+	exits   []int64                        // scratch: per-position exit counts
+	scratch *runner.BatchScratch
+	pending []*combineSlot // scratch: slots drained this pass
+	vals    []int64        // scratch: values minted this pass
+}
+
+// slot states. Only the owning handle moves idle->pending and
+// done->idle; only a combiner holding the lock moves pending->done.
+const (
+	slotIdle int32 = iota
+	slotPending
+	slotDone
+)
+
+// combineSlot is one handle's request mailbox, padded so no two slots
+// (nor a slot and its neighbours' traffic) share a cache line. The
+// owner fills buf and n, publishes with state; the combiner writes n
+// values into buf before flipping state to done.
+type combineSlot struct {
+	state atomic.Int32
+	n     int32   // values requested
+	buf   []int64 // owner-provided destination, len >= n
+	one   [1]int64
+	_     [128 - 40]byte
+}
+
+// NewCombiningCounter builds a combining counter over the given
+// counting network.
+func NewCombiningCounter(net *network.Network) *CombiningCounter {
+	a := runner.Compile(net)
+	c := &CombiningCounter{
+		async:   a,
+		width:   int64(net.Width()),
+		locals:  make([]padded, net.Width()),
+		entry:   make([]int64, net.Width()),
+		exits:   make([]int64, net.Width()),
+		scratch: a.NewBatchScratch(),
+	}
+	empty := []*combineSlot{}
+	c.slots.Store(&empty)
+	return c
+}
+
+// Width returns the width of the underlying network.
+func (c *CombiningCounter) Width() int { return int(c.width) }
+
+// Next issues one value. Prefer Handle in concurrent loops: a direct
+// Next always blocks on the combiner lock, while handles publish their
+// request and let whichever goroutine holds the lock serve it.
+func (c *CombiningCounter) Next() int64 {
+	var one [1]int64
+	c.NextBlock(one[:])
+	return one[0]
+}
+
+// NextBlock fills dst with len(dst) fresh values in one combined pass.
+func (c *CombiningCounter) NextBlock(dst []int64) {
+	if len(dst) == 0 {
+		return
+	}
+	c.combine.Lock()
+	c.combineLocked(dst)
+	c.combine.Unlock()
+}
+
+// Handle returns a goroutine-local view backed by a freshly registered
+// combining slot. Handles must not be shared between goroutines; id is
+// accepted for symmetry with NetworkCounter.Handle and does not affect
+// behaviour. Each call permanently registers one slot, so create one
+// handle per worker, not one per operation.
+func (c *CombiningCounter) Handle(id int) Counter {
+	s := &combineSlot{}
+	c.regMu.Lock()
+	old := *c.slots.Load()
+	next := make([]*combineSlot, len(old)+1)
+	copy(next, old)
+	next[len(old)] = s
+	c.slots.Store(&next)
+	c.regMu.Unlock()
+	return &CombiningHandle{c: c, slot: s}
+}
+
+// CombiningHandle is a single-goroutine view of a CombiningCounter.
+type CombiningHandle struct {
+	c    *CombiningCounter
+	slot *combineSlot
+}
+
+// Next issues one value.
+func (h *CombiningHandle) Next() int64 {
+	s := h.slot
+	s.n = 1
+	s.buf = s.one[:]
+	h.await()
+	return s.one[0]
+}
+
+// NextBlock fills dst with len(dst) fresh values. The whole block is
+// claimed by one combined pass, amortizing the network traversal over
+// every value the pass serves.
+func (h *CombiningHandle) NextBlock(dst []int64) {
+	if len(dst) == 0 {
+		return
+	}
+	s := h.slot
+	s.n = int32(len(dst))
+	s.buf = dst
+	h.await()
+}
+
+// await publishes the prepared request and blocks until it is served —
+// by this goroutine becoming the combiner, or by another combiner
+// draining the slot.
+func (h *CombiningHandle) await() {
+	s, c := h.slot, h.c
+	s.state.Store(slotPending)
+	for {
+		if c.combine.TryLock() {
+			// We are the combiner. combineLocked serves every pending
+			// slot it finds; ours is pending (or was just served by the
+			// previous combiner, in which case it is done and skipped).
+			if s.state.Load() == slotPending {
+				c.combineLocked(nil)
+			}
+			c.combine.Unlock()
+		}
+		if s.state.Load() == slotDone {
+			s.state.Store(slotIdle)
+			return
+		}
+		// Another combiner holds the lock but had already collected its
+		// batch before our publish. Yield and retry.
+		runtime.Gosched()
+	}
+}
+
+// combineLocked drains every pending slot plus the combiner's own
+// direct request (extra, nil for handle-driven passes), pushes the
+// whole demand through the network as one batch, and distributes the
+// minted values. Caller must hold c.combine.
+func (c *CombiningCounter) combineLocked(extra []int64) {
+	pend := c.pending[:0]
+	total := int64(len(extra))
+	for _, s := range *c.slots.Load() {
+		if s.state.Load() == slotPending {
+			pend = append(pend, s)
+			total += int64(s.n)
+		}
+	}
+	if total == 0 {
+		c.pending = pend
+		return
+	}
+	// Inject the batch round-robin from the entry cursor. The counting
+	// property holds for any distribution of tokens over input wires,
+	// so the cursor only spreads load, it does not affect correctness.
+	w := int(c.width)
+	for i := range c.entry {
+		c.entry[i] = 0
+	}
+	n, q := c.cursor, total
+	if q >= int64(w) {
+		for i := range c.entry {
+			c.entry[i] += q / int64(w)
+		}
+		q %= int64(w)
+	}
+	for ; q > 0; q-- {
+		c.entry[n]++
+		n++
+		if n == w {
+			n = 0
+		}
+	}
+	c.cursor = n
+	c.async.TraverseBatchInto(c.exits, c.entry, c.scratch)
+	// Claim one value range per touched exit wire and mint the values.
+	vals := c.vals[:0]
+	for pos, k := range c.exits {
+		if k == 0 {
+			continue
+		}
+		base := c.locals[pos].v.Add(k) - k
+		for m := int64(0); m < k; m++ {
+			vals = append(vals, (base+m)*c.width+int64(pos))
+		}
+	}
+	// Token conservation guarantees len(vals) == total. Hand each
+	// waiter its block, then the direct request takes the rest.
+	i := 0
+	for _, s := range pend {
+		i += copy(s.buf[:s.n], vals[i:])
+		s.buf = nil // release the waiter's buffer before waking it
+		s.state.Store(slotDone)
+	}
+	copy(extra, vals[i:])
+	c.pending = pend[:0]
+	c.vals = vals[:0]
+}

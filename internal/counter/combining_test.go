@@ -1,0 +1,139 @@
+package counter
+
+import (
+	"sync"
+	"testing"
+
+	"countnet/internal/core"
+)
+
+// TestCombiningCounterConcurrentNext: the headline guarantee — after
+// quiescence the issued values are exactly 0..N-1 — under real
+// concurrency with per-goroutine handles (collectConcurrent uses the
+// Handled fast path).
+func TestCombiningCounterConcurrentNext(t *testing.T) {
+	c := NewCombiningCounter(testNetwork(t))
+	vals := collectConcurrent(c, 8, 500)
+	assertExactRange(t, vals)
+}
+
+// TestCombiningCounterConcurrentBlocks: block requests of mixed sizes
+// from concurrent handles stay gap-free — the combiner must hand every
+// waiter exactly its n values and never split or duplicate a range.
+func TestCombiningCounterConcurrentBlocks(t *testing.T) {
+	c := NewCombiningCounter(testNetwork(t))
+	const workers, rounds = 8, 60
+	out := make([][]int64, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := c.Handle(g).(*CombiningHandle)
+			block := make([]int64, 1+g%5) // sizes 1..5
+			for r := 0; r < rounds; r++ {
+				h.NextBlock(block)
+				out[g] = append(out[g], block...)
+			}
+		}(g)
+	}
+	wg.Wait()
+	var all []int64
+	for _, vs := range out {
+		all = append(all, vs...)
+	}
+	assertExactRange(t, all)
+}
+
+// TestCombiningCounterMixed: handle Next, handle NextBlock, direct
+// Next, and direct NextBlock interleaved across goroutines still mint
+// each value exactly once.
+func TestCombiningCounterMixed(t *testing.T) {
+	c := NewCombiningCounter(testNetwork(t))
+	const workers, rounds = 6, 80
+	out := make([][]int64, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			switch g % 3 {
+			case 0: // handle, single values
+				h := c.Handle(g)
+				for r := 0; r < rounds; r++ {
+					out[g] = append(out[g], h.Next())
+				}
+			case 1: // handle, blocks
+				h := c.Handle(g).(*CombiningHandle)
+				block := make([]int64, 3)
+				for r := 0; r < rounds/3; r++ {
+					h.NextBlock(block)
+					out[g] = append(out[g], block...)
+				}
+			default: // no handle: direct combiner-lock path
+				block := make([]int64, 2)
+				for r := 0; r < rounds/2; r++ {
+					c.NextBlock(block)
+					out[g] = append(out[g], block...)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var all []int64
+	for _, vs := range out {
+		all = append(all, vs...)
+	}
+	assertExactRange(t, all)
+}
+
+// TestCombiningCounterSequential: single-goroutine issuance through
+// every entry point is a permutation of 0..N-1.
+func TestCombiningCounterSequential(t *testing.T) {
+	c := NewCombiningCounter(testNetwork(t))
+	h := c.Handle(0).(*CombiningHandle)
+	var vals []int64
+	block := make([]int64, 7)
+	for i := 0; i < 300; i++ {
+		switch i % 3 {
+		case 0:
+			vals = append(vals, c.Next())
+		case 1:
+			vals = append(vals, h.Next())
+		default:
+			h.NextBlock(block)
+			vals = append(vals, block...)
+		}
+	}
+	assertExactRange(t, vals)
+}
+
+// TestCombiningCounterWider: a wider network with mixed balancer sizes.
+func TestCombiningCounterWider(t *testing.T) {
+	n, err := core.L(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCombiningCounter(n)
+	vals := collectConcurrent(c, 5, 600)
+	assertExactRange(t, vals)
+}
+
+func TestCombiningCounterWidth(t *testing.T) {
+	c := NewCombiningCounter(testNetwork(t))
+	if c.Width() != 8 {
+		t.Errorf("width %d, want 8", c.Width())
+	}
+}
+
+// TestCombiningCounterEmptyBlock: a zero-length block request returns
+// immediately and mints nothing.
+func TestCombiningCounterEmptyBlock(t *testing.T) {
+	c := NewCombiningCounter(testNetwork(t))
+	c.NextBlock(nil)
+	h := c.Handle(0).(*CombiningHandle)
+	h.NextBlock(nil)
+	if v := c.Next(); v != 0 {
+		t.Errorf("first value %d after empty blocks, want 0", v)
+	}
+}

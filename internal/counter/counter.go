@@ -40,6 +40,18 @@ type Handled interface {
 	Handle(id int) Counter
 }
 
+// BlockCounter is implemented by counters that can issue a block of
+// values in one call, cheaper than len(dst) separate Nexts. The values
+// are distinct and all consumed by the caller on return, so block
+// requests preserve the gap-free-at-quiescence guarantee; they are not
+// necessarily consecutive integers (a network counter hands out value
+// progressions from several exit wires).
+type BlockCounter interface {
+	Counter
+	// NextBlock fills dst with len(dst) fresh values.
+	NextBlock(dst []int64)
+}
+
 type padded struct {
 	_ [64]byte
 	v atomic.Int64
@@ -48,11 +60,12 @@ type padded struct {
 // NetworkCounter is a Fetch&Increment counter built on a counting
 // network.
 type NetworkCounter struct {
-	async  *runner.Async
-	width  int
-	useMu  bool
-	entry  atomic.Int64
-	locals []padded
+	async   *runner.Async
+	width   int
+	width64 int64 // int64(width), cached off the per-value paths
+	useMu   bool
+	entry   atomic.Int64
+	locals  []padded
 }
 
 // NewNetworkCounter builds a counter over the given counting network.
@@ -60,10 +73,11 @@ type NetworkCounter struct {
 // instead of fetch-and-add balancers.
 func NewNetworkCounter(net *network.Network, mutexBalancers bool) *NetworkCounter {
 	return &NetworkCounter{
-		async:  runner.Compile(net),
-		width:  net.Width(),
-		useMu:  mutexBalancers,
-		locals: make([]padded, net.Width()),
+		async:   runner.Compile(net),
+		width:   net.Width(),
+		width64: int64(net.Width()),
+		useMu:   mutexBalancers,
+		locals:  make([]padded, net.Width()),
 	}
 }
 
@@ -71,11 +85,21 @@ func NewNetworkCounter(net *network.Network, mutexBalancers bool) *NetworkCounte
 func (c *NetworkCounter) Width() int { return c.width }
 
 // Next issues a value, dispatching the entry wire from a shared
-// round-robin counter. Prefer Handle in tight concurrent loops: the
-// shared dispatcher is itself a contention point that handles avoid.
+// round-robin counter. This is the slow path: every call pays a
+// fetch-and-add and a modulo on one shared dispatch word before the
+// token even enters the network. Handle is the fast path — it cycles
+// entry wires privately, touching no shared state outside the network
+// itself (pinned by TestHandleBypassesSharedDispatch).
 func (c *NetworkCounter) Next() int64 {
-	wire := int((c.entry.Add(1) - 1) % int64(c.width))
+	wire := int((c.entry.Add(1) - 1) % c.width64)
 	return c.nextOn(wire)
+}
+
+// NextBlock fills dst with len(dst) values via the shared dispatcher.
+func (c *NetworkCounter) NextBlock(dst []int64) {
+	for i := range dst {
+		dst[i] = c.Next()
+	}
 }
 
 func (c *NetworkCounter) nextOn(wire int) int64 {
@@ -86,7 +110,7 @@ func (c *NetworkCounter) nextOn(wire int) int64 {
 		pos = c.async.Traverse(wire)
 	}
 	k := c.locals[pos].v.Add(1) - 1
-	return k*int64(c.width) + int64(pos)
+	return k*c.width64 + int64(pos)
 }
 
 // NextOnHooked issues a value entering on the given wire with schedule
@@ -98,14 +122,14 @@ func (c *NetworkCounter) NextOnHooked(wire int, yield func(op string)) int64 {
 	pos := c.async.TraverseHooked(wire, yield)
 	yield(fmt.Sprintf("local %d", pos))
 	k := c.locals[pos].v.Add(1) - 1
-	return k*int64(c.width) + int64(pos)
+	return k*c.width64 + int64(pos)
 }
 
 // NextHooked is Next with schedule instrumentation (see NextOnHooked);
 // the shared entry-dispatch fetch-and-add is itself a yield point.
 func (c *NetworkCounter) NextHooked(yield func(op string)) int64 {
 	yield("entry dispatch")
-	wire := int((c.entry.Add(1) - 1) % int64(c.width))
+	wire := int((c.entry.Add(1) - 1) % c.width64)
 	return c.NextOnHooked(wire, yield)
 }
 
@@ -134,6 +158,13 @@ func (h *handle) Next() int64 {
 	return h.c.nextOn(wire)
 }
 
+// NextBlock fills dst with len(dst) values, one token each.
+func (h *handle) NextBlock(dst []int64) {
+	for i := range dst {
+		dst[i] = h.Next()
+	}
+}
+
 // AtomicCounter is the centralized baseline: one fetch-and-add word.
 type AtomicCounter struct {
 	_ [64]byte
@@ -145,6 +176,15 @@ func NewAtomicCounter() *AtomicCounter { return &AtomicCounter{} }
 
 // Next returns the next value.
 func (c *AtomicCounter) Next() int64 { return c.v.Add(1) - 1 }
+
+// NextBlock claims len(dst) consecutive values with one fetch-and-add.
+func (c *AtomicCounter) NextBlock(dst []int64) {
+	k := int64(len(dst))
+	base := c.v.Add(k) - k
+	for i := range dst {
+		dst[i] = base + int64(i)
+	}
+}
 
 // MutexCounter is the lock-based centralized baseline.
 type MutexCounter struct {
@@ -162,4 +202,15 @@ func (c *MutexCounter) Next() int64 {
 	c.v++
 	c.mu.Unlock()
 	return v
+}
+
+// NextBlock claims len(dst) consecutive values under one lock hold.
+func (c *MutexCounter) NextBlock(dst []int64) {
+	c.mu.Lock()
+	base := c.v
+	c.v += int64(len(dst))
+	c.mu.Unlock()
+	for i := range dst {
+		dst[i] = base + int64(i)
+	}
 }

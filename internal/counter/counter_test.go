@@ -155,3 +155,26 @@ func TestCounterOnBalancerOnly(t *testing.T) {
 	vals := collectConcurrent(c, 4, 300)
 	assertExactRange(t, vals)
 }
+
+// TestHandleBypassesSharedDispatch pins the documented contract that
+// Handle is the fast path: drawing values through a handle must not
+// touch the counter's shared entry-dispatch word, while direct Next
+// calls pay one fetch-and-add on it per value.
+func TestHandleBypassesSharedDispatch(t *testing.T) {
+	c := NewNetworkCounter(testNetwork(t), false)
+	h := c.Handle(1)
+	var vals []int64
+	for i := 0; i < 100; i++ {
+		vals = append(vals, h.Next())
+	}
+	if got := c.entry.Load(); got != 0 {
+		t.Errorf("handle Next moved the shared dispatch word to %d, want 0", got)
+	}
+	for i := 0; i < 10; i++ {
+		vals = append(vals, c.Next())
+	}
+	if got := c.entry.Load(); got != 10 {
+		t.Errorf("shared dispatch word at %d after 10 direct Nexts, want 10", got)
+	}
+	assertExactRange(t, vals)
+}

@@ -1,0 +1,59 @@
+//go:build soak
+
+// Combining-counter stress soak, run by the nightly CI lane:
+//
+//	go test -tags soak -run Soak -timeout 20m ./internal/counter
+//
+// High-volume mixed Next/NextBlock traffic from many goroutines over
+// several network shapes; any duplicated or dropped value surfaces as
+// a gap in the quiescent range.
+package counter
+
+import (
+	"sync"
+	"testing"
+
+	"countnet/internal/core"
+	"countnet/internal/network"
+)
+
+func TestSoakCombiningCounter(t *testing.T) {
+	nets := map[string]func() (*network.Network, error){
+		"L(2,2,2)": func() (*network.Network, error) { return core.L(2, 2, 2) },
+		"K(4,4,4)": func() (*network.Network, error) { return core.K(4, 4, 4) },
+		"R(4,8)":   func() (*network.Network, error) { return core.R(4, 8) },
+	}
+	for name, build := range nets {
+		n, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		c := NewCombiningCounter(n)
+		const workers, rounds = 16, 2000
+		out := make([][]int64, workers)
+		var wg sync.WaitGroup
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				h := c.Handle(g).(*CombiningHandle)
+				block := make([]int64, 1+g%8)
+				for r := 0; r < rounds; r++ {
+					if g%4 == 0 {
+						out[g] = append(out[g], h.Next())
+					} else {
+						h.NextBlock(block)
+						out[g] = append(out[g], block...)
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		var all []int64
+		for _, vs := range out {
+			all = append(all, vs...)
+		}
+		assertExactRange(t, all)
+		t.Logf("%s: %d values gap-free", name, len(all))
+	}
+}

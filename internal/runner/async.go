@@ -50,6 +50,8 @@ type asyncHot struct {
 // cleanly.
 type asyncGate struct {
 	width int64
+	mask  int64 // width-1 if width is a power of two, else -1
+	shift uint8 // log2(width) when mask >= 0
 	wires []int32
 	next  []int32 // next gate per port, -1 if the token exits
 }
@@ -75,6 +77,13 @@ func Compile(net *network.Network) *Async {
 		g := &net.Gates[gi]
 		ag := &a.gates[gi]
 		ag.width = int64(g.Width())
+		ag.mask = -1
+		if w := ag.width; w&(w-1) == 0 {
+			ag.mask = w - 1
+			for 1<<ag.shift < w {
+				ag.shift++
+			}
+		}
 		ag.wires = make([]int32, g.Width())
 		ag.next = make([]int32, g.Width())
 		for port, wire := range g.Wires {

@@ -1,0 +1,163 @@
+package runner
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"countnet/internal/seq"
+)
+
+func randomTokenCounts(rng *rand.Rand, w int) []int64 {
+	in := make([]int64, w)
+	for i := range in {
+		if rng.Intn(3) > 0 { // leave some wires empty
+			in[i] = int64(rng.Intn(40))
+		}
+	}
+	return in
+}
+
+// TestTraverseBatchMatchesApplyTokens: on a fresh network state, one
+// batched traversal must land on exactly the quiescent transfer
+// function — for every golden network and constructed K/L/R instance.
+func TestTraverseBatchMatchesApplyTokens(t *testing.T) {
+	for name, net := range allPlanNetworks(t) {
+		t.Run(name, func(t *testing.T) {
+			a := Compile(net)
+			s := a.NewBatchScratch()
+			dst := make([]int64, net.Width())
+			rng := rand.New(rand.NewSource(11))
+			for trial := 0; trial < 25; trial++ {
+				in := randomTokenCounts(rng, net.Width())
+				want := ApplyTokens(net, in)
+				got := a.TraverseBatch(in)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d: batch %v, transfer function %v, input %v", trial, got, want, in)
+				}
+				a.Reset()
+				// Reusable form agrees and returns dst.
+				if out := a.TraverseBatchInto(dst, in, s); &out[0] != &dst[0] || !reflect.DeepEqual(out, want) {
+					t.Fatalf("trial %d: TraverseBatchInto %v, want %v", trial, out, want)
+				}
+				a.Reset()
+			}
+		})
+	}
+}
+
+// TestTraverseBatchComposes: splitting a load into batches and single
+// tokens, pushed through one LIVE network in any order, must sum to the
+// transfer function of the combined load — the property that lets the
+// combining counter mix batches with per-token traffic.
+func TestTraverseBatchComposes(t *testing.T) {
+	for name, net := range allPlanNetworks(t) {
+		t.Run(name, func(t *testing.T) {
+			w := net.Width()
+			a := Compile(net)
+			s := a.NewBatchScratch()
+			rng := rand.New(rand.NewSource(13))
+			for trial := 0; trial < 10; trial++ {
+				a.Reset()
+				total := make([]int64, w)
+				counts := make([]int64, w)
+				dst := make([]int64, w)
+				for op := 0; op < 8; op++ {
+					if rng.Intn(2) == 0 {
+						wire := rng.Intn(w)
+						total[wire]++
+						counts[a.Traverse(wire)]++
+					} else {
+						in := randomTokenCounts(rng, w)
+						for i, v := range in {
+							total[i] += v
+						}
+						a.TraverseBatchInto(dst, in, s)
+						for i, v := range dst {
+							counts[i] += v
+						}
+					}
+				}
+				want := ApplyTokens(net, total)
+				if !reflect.DeepEqual(counts, want) {
+					t.Fatalf("trial %d: mixed exits %v, transfer function %v (input %v)", trial, counts, want, total)
+				}
+				if !seq.IsStep(counts) && seq.IsStep(want) {
+					t.Fatalf("trial %d: mixed exits %v lost the step property", trial, counts)
+				}
+			}
+		})
+	}
+}
+
+// TestTraverseBatchHookedAgrees: the instrumented batch traversal is
+// the same machine as the production one.
+func TestTraverseBatchHookedAgrees(t *testing.T) {
+	for name, net := range constructedPlanNetworks(t) {
+		plain := Compile(net)
+		hooked := Compile(net)
+		rng := rand.New(rand.NewSource(17))
+		hooks := 0
+		for trial := 0; trial < 5; trial++ {
+			in := randomTokenCounts(rng, net.Width())
+			p := plain.TraverseBatch(in)
+			h := hooked.TraverseBatchHooked(in, func(string) { hooks++ })
+			if !reflect.DeepEqual(p, h) {
+				t.Fatalf("%s trial %d: plain %v, hooked %v", name, trial, p, h)
+			}
+		}
+		if hooks == 0 {
+			t.Errorf("%s: hooked traversal never yielded", name)
+		}
+	}
+}
+
+// TestTraverseBatchZero: an all-zero batch touches no gate — the next
+// real batch still sees a fresh network.
+func TestTraverseBatchZero(t *testing.T) {
+	net := fuzzNet()
+	a := Compile(net)
+	out := a.TraverseBatch(make([]int64, net.Width()))
+	for _, v := range out {
+		if v != 0 {
+			t.Fatalf("zero batch exited tokens: %v", out)
+		}
+	}
+	in := []int64{3, 1, 0, 2}
+	if got, want := a.TraverseBatch(in), ApplyTokens(net, in); !reflect.DeepEqual(got, want) {
+		t.Fatalf("zero batch moved balancer state: %v, want %v", got, want)
+	}
+}
+
+// TestTraverseBatchIntoAllocationFree: the reusable form performs zero
+// allocations.
+func TestTraverseBatchIntoAllocationFree(t *testing.T) {
+	net := fuzzNet()
+	a := Compile(net)
+	s := a.NewBatchScratch()
+	dst := make([]int64, net.Width())
+	in := []int64{5, 0, 7, 2}
+	if allocs := testing.AllocsPerRun(100, func() {
+		a.TraverseBatchInto(dst, in, s)
+	}); allocs != 0 {
+		t.Errorf("TraverseBatchInto allocates %v per run", allocs)
+	}
+}
+
+func TestTraverseBatchPanics(t *testing.T) {
+	a := Compile(fuzzNet())
+	for name, bad := range map[string]func(){
+		"short input":    func() { a.TraverseBatch([]int64{1, 2}) },
+		"negative count": func() { a.TraverseBatch([]int64{1, -1, 0, 0}) },
+		"short dst":      func() { a.TraverseBatchInto(make([]int64, 2), []int64{1, 0, 0, 0}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			bad()
+		}()
+	}
+}

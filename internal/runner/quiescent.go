@@ -101,46 +101,73 @@ func (s *Stepper) Step(in []int64) []int64 {
 // This engine exists to cross-check ApplyTokens — the per-wire exit
 // counts must agree — and to let tests observe individual token paths.
 func ApplyTokensSerial(net *network.Network, tokens []int) (counts []int64, exits []int) {
-	state := make([]int, net.Size()) // tokens seen per gate
-	wireGates := net.WireGates()
-	wireCounts := make([]int64, net.Width())
-	exits = make([]int, len(tokens))
-	for k, entry := range tokens {
-		if entry < 0 || entry >= net.Width() {
-			panic(fmt.Sprintf("runner: token enters on wire %d outside width %d", entry, net.Width()))
+	w := net.Width()
+	// Precomputed routing: first gate per wire, successor gate per
+	// (gate, port), and each wire's output-order position. One pass over
+	// the wire/gate incidence replaces the per-token linear scans the
+	// walk used to do (a gate-position search per hop and an O(w)
+	// OutputOrder search per exit), which made large networks quadratic.
+	entry := make([]int, w)
+	for wire := range entry {
+		entry[wire] = -1
+	}
+	succ := make([][]int, net.Size()) // next gate per port, -1 if the token exits
+	for gi := range net.Gates {
+		s := make([]int, net.Gates[gi].Width())
+		for j := range s {
+			s[j] = -1
 		}
-		wire := entry
-		slot := 0
-		for slot < len(wireGates[wire]) {
-			gid := wireGates[wire][slot]
+		succ[gi] = s
+	}
+	for wire, lst := range net.WireGates() {
+		prev := -1 // previous gate on this wire, with prevPort its port
+		prevPort := 0
+		for _, gid := range lst {
+			port := portOf(&net.Gates[gid], wire)
+			if prev < 0 {
+				entry[wire] = gid
+			} else {
+				succ[prev][prevPort] = gid
+			}
+			prev, prevPort = gid, port
+		}
+	}
+	outPos := make([]int, w)
+	for pos, wire := range net.OutputOrder {
+		outPos[wire] = pos
+	}
+
+	state := make([]int, net.Size()) // tokens seen per gate
+	wireCounts := make([]int64, w)
+	exits = make([]int, len(tokens))
+	for k, wire := range tokens {
+		if wire < 0 || wire >= w {
+			panic(fmt.Sprintf("runner: token enters on wire %d outside width %d", wire, w))
+		}
+		gid := entry[wire]
+		for gid >= 0 {
 			g := &net.Gates[gid]
 			i := state[gid]
 			state[gid]++
-			next := g.Wires[i%g.Width()]
-			// Find this gate's position on the next wire and continue after it.
-			slot = gatePosOnWire(wireGates[next], gid) + 1
-			wire = next
+			port := i % g.Width()
+			wire = g.Wires[port]
+			gid = succ[gid][port]
 		}
 		wireCounts[wire]++
-		exits[k] = -1
-		for pos, w := range net.OutputOrder {
-			if w == wire {
-				exits[k] = pos
-				break
-			}
-		}
+		exits[k] = outPos[wire]
 	}
-	counts = make([]int64, net.Width())
-	for pos, w := range net.OutputOrder {
-		counts[pos] = wireCounts[w]
+	counts = make([]int64, w)
+	for pos, wire := range net.OutputOrder {
+		counts[pos] = wireCounts[wire]
 	}
 	return counts, exits
 }
 
-func gatePosOnWire(gates []int, gid int) int {
-	for i, g := range gates {
-		if g == gid {
-			return i
+// portOf returns the port index of wire within the gate.
+func portOf(g *network.Gate, wire int) int {
+	for j, gw := range g.Wires {
+		if gw == wire {
+			return j
 		}
 	}
 	panic("runner: gate not on wire")

@@ -64,3 +64,39 @@ func TestAsyncHookedAgreesWithTraverse(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchStepPropertyUnderExploredSchedules: for every explored
+// interleaving of batched traversals with single-token traversals,
+// the quiescent exit counts satisfy the step property and match the
+// transfer function of the combined load. This is the concurrency-side
+// evidence for TraverseBatch's claim that one Add(t) per gate is a legal
+// serialization of t tokens even while other tokens are mid-flight.
+func TestBatchStepPropertyUnderExploredSchedules(t *testing.T) {
+	nets := map[string]*network.Network{}
+	if n, err := core.K(2, 2); err == nil {
+		nets["K(2,2)"] = n
+	}
+	if n, err := core.R(2, 3); err == nil {
+		nets["R(2,3)"] = n
+	}
+	for name, net := range nets {
+		w := net.Width()
+		// Two single tokens racing two batches (one skewed, one spread).
+		entries := []int{0, w - 1}
+		skewed := make([]int64, w)
+		skewed[0] = 3
+		spread := make([]int64, w)
+		for i := range spread {
+			spread[i] = 1
+		}
+		sys := sched.BatchTokenSystem(net, entries, [][]int64{skewed, spread})
+		if rep := sched.ExploreRandom(sys, 0xbadc, 200, 10_000); rep.Failure != nil {
+			t.Errorf("%s random: %s", name, rep.Failure)
+		}
+		if rep := sched.ExploreDFS(sys, 2, 50_000, 10_000); rep.Failure != nil {
+			t.Errorf("%s dfs: %s", name, rep.Failure)
+		} else {
+			t.Logf("%s: DFS covered %d schedules (preemption bound 2)", name, rep.Schedules)
+		}
+	}
+}

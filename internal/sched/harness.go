@@ -81,6 +81,65 @@ func FormatTokenSchedule(net *network.Network, entries []int, tr *Trace) string 
 	return sim.FormatPaths(net, entries, paths, res)
 }
 
+// BatchTokenSystem drives a mix of single tokens (one task per entry
+// listed in entries, via Async.TraverseHooked) and count batches (one
+// task per element of batches, via Async.TraverseBatchHooked) through
+// one fresh compile of net. Every atomic balancer access — a batch's
+// per-gate reservation or a token's per-gate step — is a scheduling
+// point, so exploration covers arbitrary interleavings of batch RMWs
+// with single-token RMWs. At quiescence the combined exit counts must
+// satisfy the step property and equal the transfer function of the
+// combined input — the invariant that makes TraverseBatch safe to mix
+// with per-token traffic (counter.CombiningCounter relies on it).
+func BatchTokenSystem(net *network.Network, entries []int, batches [][]int64) System {
+	w := net.Width()
+	in := make([]int64, w)
+	for _, e := range entries {
+		in[e]++
+	}
+	for _, b := range batches {
+		for i, v := range b {
+			in[i] += v
+		}
+	}
+	want := runner.ApplyTokens(net, in)
+	return func() ([]TaskFunc, func(tr *Trace) error) {
+		a := runner.Compile(net)
+		counts := make([]int64, w)
+		tasks := make([]TaskFunc, 0, len(entries)+len(batches))
+		for _, e := range entries {
+			e := e
+			tasks = append(tasks, func(y *Yield) {
+				pos := a.TraverseHooked(e, y.Step)
+				y.Step("exit")
+				counts[pos]++
+			})
+		}
+		for _, b := range batches {
+			b := b
+			tasks = append(tasks, func(y *Yield) {
+				out := a.TraverseBatchHooked(b, y.Step)
+				y.Step("exit")
+				for pos, v := range out {
+					counts[pos] += v
+				}
+			})
+		}
+		check := func(tr *Trace) error {
+			if !seq.IsStep(counts) {
+				return fmt.Errorf("sched: quiescent exit counts %v violate the step property (batch+token mix)", counts)
+			}
+			for i := range counts {
+				if counts[i] != want[i] {
+					return fmt.Errorf("sched: quiescent exit counts %v differ from transfer function %v (batch+token mix)", counts, want)
+				}
+			}
+			return nil
+		}
+		return tasks, check
+	}
+}
+
 // CounterSystem runs goroutines tasks each issuing opsPer values from
 // one fresh NetworkCounter over net (entry wires cycled per task, as
 // counter handles do). At quiescence the issued values must be exactly

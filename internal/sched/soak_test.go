@@ -125,3 +125,33 @@ func TestSoakMutationDetection(t *testing.T) {
 		t.Error("no reversal broke counting — load bound too weak")
 	}
 }
+
+// TestSoakBatchTokenSchedules: heavier interleavings of batched
+// traversals with single-token traversals — the combining front-end's
+// core soundness claim, explored at soak scale.
+func TestSoakBatchTokenSchedules(t *testing.T) {
+	for name, net := range soakNets(t) {
+		w := net.Width()
+		entries := []int{0, 0, w - 1, w / 2}
+		skewed := make([]int64, w)
+		skewed[0] = int64(w + 1)
+		spread := make([]int64, w)
+		for i := range spread {
+			spread[i] = 2
+		}
+		tail := make([]int64, w)
+		tail[w-1] = 3
+		sys := sched.BatchTokenSystem(net, entries, [][]int64{skewed, spread, tail})
+		if rep := sched.ExploreRandom(sys, 0x50a6, 20_000, 200_000); rep.Failure != nil {
+			t.Errorf("%s random: %s", name, rep.Failure)
+		}
+		if rep := sched.ExplorePCT(sys, 0x50a7, 5_000, 200_000, len(entries)+3, 3); rep.Failure != nil {
+			t.Errorf("%s pct: %s", name, rep.Failure)
+		}
+		if rep := sched.ExploreDFS(sys, 2, 30_000, 200_000); rep.Failure != nil {
+			t.Errorf("%s dfs: %s", name, rep.Failure)
+		} else {
+			t.Logf("%s: dfs covered %d schedules", name, rep.Schedules)
+		}
+	}
+}

@@ -125,3 +125,51 @@ func TestEndToEndSystem(t *testing.T) {
 		t.Error("text format empty")
 	}
 }
+
+// TestCombiningCounterSystem exercises the combining front-end and the
+// barrier/counter handle surface end to end: workers draw value blocks
+// through combining handles, synchronize through barrier handles, and
+// the union of every block must be exactly 0..N-1.
+func TestCombiningCounterSystem(t *testing.T) {
+	net, err := NewL(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, rounds, block = 4, 50, 8
+	ctr := NewCombiningCounter(net)
+	bar := NewBarrier(net, workers)
+	var mu sync.Mutex
+	var all []int64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := ctr.Handle(g)
+			bh := bar.Handle(g)
+			var local []int64
+			buf := make([]int64, block)
+			for r := 0; r < rounds; r++ {
+				if r%2 == 0 {
+					h.NextBlock(buf)
+					local = append(local, buf...)
+				} else {
+					local = append(local, h.Next())
+				}
+			}
+			if gen := bh.Await(); gen != 0 {
+				t.Errorf("worker %d saw generation %d, want 0", g, gen)
+			}
+			mu.Lock()
+			all = append(all, local...)
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	for i, v := range all {
+		if v != int64(i) {
+			t.Fatalf("combining counter values not gap-free at %d: %d", i, v)
+		}
+	}
+}
