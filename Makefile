@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench bench-plan bench-counter bench-smoke fuzz soak vet fmt experiments examples clean
+.PHONY: all build test race short bench bench-plan bench-counter bench-smoke fuzz soak vet fmt lint netvet experiments examples clean
 
 all: build vet test
 
@@ -15,6 +15,27 @@ vet:
 fmt:
 	gofmt -l -w .
 
+# The repo's own vettool (see docs/TESTING.md, "Static analysis"):
+# padalign, schedhooks, ctorerr, fieldalign.
+netvet:
+	$(GO) build -o bin/netvet ./cmd/netvet
+
+# Full static-analysis gate. netvet and `go vet` always run;
+# staticcheck/govulncheck/fieldalignment run when installed (CI
+# installs pinned versions; locally they are skipped with a notice).
+lint: netvet
+	$(GO) vet ./...
+	$(GO) vet -vettool=bin/netvet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else echo "lint: staticcheck not installed, skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else echo "lint: govulncheck not installed, skipping"; fi
+	@if command -v fieldalignment >/dev/null 2>&1; then \
+		fieldalignment ./... || true; \
+	else echo "lint: fieldalignment not installed, skipping"; fi
+
 test:
 	$(GO) test -shuffle=on ./...
 
@@ -22,7 +43,7 @@ short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/sched ./internal/runner ./internal/counter ./internal/sim ./internal/pool .
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

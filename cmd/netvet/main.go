@@ -1,0 +1,23 @@
+// Command netvet is the repository's custom static-analysis
+// multichecker: repo-specific invariants (false-sharing padding,
+// sched-harness determinism, constructor error handling, struct
+// packing) enforced at vet time instead of in the nightly soak.
+//
+// It runs two ways:
+//
+//	netvet ./...                                # standalone
+//	go vet -vettool=$(pwd)/bin/netvet ./...     # as a vet tool
+//
+// Both are wired into `make lint` and the CI lint job. Analyzer
+// semantics and fixture-writing instructions live in docs/TESTING.md;
+// the analyzers themselves in internal/analyzers.
+package main
+
+import (
+	"countnet/internal/analysis"
+	"countnet/internal/analyzers"
+)
+
+func main() {
+	analysis.VetMain(analyzers.All())
+}

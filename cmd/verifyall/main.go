@@ -1,14 +1,21 @@
 // Command verifyall runs the full verification battery over a matrix
 // of constructions — every factorization of a set of widths for K and
-// L, an R(p,q) grid, and the classical baselines — and exits non-zero
-// if anything fails. It is the CI entry point for construction
-// correctness.
+// L, an R(p,q) grid, the bitonic converter D(p,q), and the classical
+// baselines — and exits non-zero if anything fails. It is the CI
+// entry point for construction correctness.
+//
+// Each paper construction is confirmed twice, by independent means:
+// dynamically (internal/verify pushes tokens and sorts values) and
+// statically (internal/netcheck proves width bounds, layerization
+// validity, and the paper's depth formulas from the wiring alone).
+// With -v every case prints its statically-proven property table next
+// to the dynamic verdict.
 //
 // Usage:
 //
 //	verifyall                  # default matrix
 //	verifyall -widths 24,30    # K/L over all factorizations of these widths
-//	verifyall -rmax 12         # R(p,q) grid bound
+//	verifyall -rmax 12         # R(p,q) and D(p,q) grid bound
 //	verifyall -seed 7 -v       # reseed the randomized batteries, list every case
 package main
 
@@ -20,12 +27,14 @@ import (
 	"strings"
 
 	"countnet"
+	"countnet/internal/core"
+	"countnet/internal/netcheck"
 )
 
 func main() {
 	var (
 		widths  = flag.String("widths", "12,16,24,30", "comma-separated widths: K and L are verified for every factorization")
-		rmax    = flag.Int("rmax", 9, "verify R(p,q) for all 2 <= p,q <= rmax")
+		rmax    = flag.Int("rmax", 9, "verify R(p,q) and D(p,q) for all 2 <= p,q <= rmax")
 		seed    = flag.Int64("seed", 1, "seed for the randomized batteries")
 		verbose = flag.Bool("v", false, "print every case, not just failures")
 	)
@@ -33,7 +42,20 @@ func main() {
 
 	failures := 0
 	total := 0
-	check := func(name string, n *countnet.Network, wantCounting bool) {
+	staticFailures := 0
+	staticTotal := 0
+
+	// static records one netcheck proof and renders its verdict cell.
+	static := func(p netcheck.Proof) string {
+		staticTotal++
+		if err := p.Err(); err != nil {
+			staticFailures++
+			fmt.Printf("FAIL %-16s static proof: %v\n", p.Network, err)
+		}
+		return p.Summary()
+	}
+
+	check := func(name string, n *countnet.Network, wantCounting bool, staticSummary string) {
 		total++
 		countErr := n.VerifyCounting(*seed)
 		sortErr := n.VerifySorting(*seed)
@@ -45,8 +67,8 @@ func main() {
 			return
 		}
 		if *verbose {
-			fmt.Printf("ok   %-16s width=%-4d depth=%-3d gates=%-5d maxGate=%d\n",
-				name, n.Width(), n.Depth(), n.Size(), n.MaxBalancerWidth())
+			fmt.Printf("ok   %-16s width=%-4d depth=%-3d gates=%-5d maxGate=%-3d %s\n",
+				name, n.Width(), n.Depth(), n.Size(), n.MaxBalancerWidth(), staticSummary)
 		}
 	}
 
@@ -62,13 +84,26 @@ func main() {
 				fmt.Fprintln(os.Stderr, "verifyall:", err)
 				os.Exit(1)
 			}
-			check(k.Name(), k, true)
+			// Constructions are memoized, so re-building the core
+			// network for the static prover is a cache hit.
+			ck, err := core.K(fs...)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "verifyall:", err)
+				os.Exit(1)
+			}
+			check(k.Name(), k, true, static(netcheck.ProveK(ck, fs)))
+
 			l, err := countnet.NewL(fs...)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "verifyall:", err)
 				os.Exit(1)
 			}
-			check(l.Name(), l, true)
+			cl, err := core.L(fs...)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "verifyall:", err)
+				os.Exit(1)
+			}
+			check(l.Name(), l, true, static(netcheck.ProveL(cl, fs)))
 		}
 	}
 
@@ -79,32 +114,52 @@ func main() {
 				fmt.Fprintln(os.Stderr, "verifyall:", err)
 				os.Exit(1)
 			}
-			check(r.Name(), r, true)
+			cr, err := core.R(p, q)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "verifyall:", err)
+				os.Exit(1)
+			}
+			check(r.Name(), r, true, static(netcheck.ProveR(cr, p, q)))
+
+			// The bitonic converter D(p,q) is a building block, not a
+			// counting network on its own, so it gets only the static
+			// half: width bound max(p,q) and depth exactly 2.
+			d, err := core.BitonicConverterNetwork(p, q)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "verifyall:", err)
+				os.Exit(1)
+			}
+			summary := static(netcheck.ProveD(d, p, q))
+			if *verbose {
+				fmt.Printf("ok   %-16s width=%-4d depth=%-3d gates=%-5d maxGate=%-3d %s (static only)\n",
+					d.Name, d.Width(), d.Depth(), d.Size(), d.MaxGateWidth(), summary)
+			}
 		}
 	}
 
 	for _, w := range []int{4, 8, 16} {
 		if n, err := countnet.NewBitonic(w); err == nil {
-			check(n.Name(), n, true)
+			check(n.Name(), n, true, "")
 		}
 		if n, err := countnet.NewPeriodic(w); err == nil {
-			check(n.Name(), n, true)
+			check(n.Name(), n, true, "")
 		}
 		if n, err := countnet.NewOddEvenMergeSort(w); err == nil {
-			check(n.Name(), n, false) // sorts, must NOT count
+			check(n.Name(), n, false, "") // sorts, must NOT count
 		}
 	}
 	for _, w := range []int{4, 5, 6} {
 		if n, err := countnet.NewBubble(w); err == nil {
-			check(n.Name(), n, false)
+			check(n.Name(), n, false, "")
 		}
 		if n, err := countnet.NewMergeExchange(w); err == nil {
-			check(n.Name(), n, false)
+			check(n.Name(), n, false, "")
 		}
 	}
 
-	fmt.Printf("verifyall: %d/%d constructions behaved as specified\n", total-failures, total)
-	if failures > 0 {
+	fmt.Printf("verifyall: %d/%d constructions behaved as specified; %d/%d static proofs held\n",
+		total-failures, total, staticTotal-staticFailures, staticTotal)
+	if failures > 0 || staticFailures > 0 {
 		os.Exit(1)
 	}
 }

@@ -53,7 +53,11 @@ func main() {
 	fmt.Println("\nspot verification:")
 	for _, i := range []int{0, len(entries) / 2, len(entries) - 1} {
 		fs := entries[i].fs
-		net, _ := countnet.NewL(fs...)
+		net, err := countnet.NewL(fs...)
+		if err != nil {
+			fmt.Printf("  %-28s BUILD FAIL: %v\n", fmt.Sprint(fs), err)
+			continue
+		}
 		status := "PASS"
 		if err := net.VerifyCounting(7); err != nil {
 			status = "FAIL: " + err.Error()

@@ -1,0 +1,116 @@
+// Package analysis is a dependency-free reimplementation of the core
+// of golang.org/x/tools/go/analysis, just large enough to host this
+// repository's custom vet checks (package analyzers) behind both a
+// standalone driver and the `go vet -vettool` protocol (see
+// unitchecker.go). The module has no external dependencies by policy,
+// so the x/tools framework is mirrored rather than imported; the
+// Analyzer/Pass/Diagnostic surface is kept source-compatible with the
+// subset x/tools defines, which keeps the analyzers trivially portable
+// to a real multichecker if the dependency is ever taken.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Name must be a valid Go
+// identifier: it is used as a diagnostic prefix and a command-line
+// selector in cmd/netvet.
+type Analyzer struct {
+	// Name identifies the analyzer, e.g. "padalign".
+	Name string
+	// Doc is the help text: first line is a one-line summary.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (any, error)
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one package's syntax and type information through an
+// Analyzer.Run invocation.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	TypesSizes types.Sizes
+
+	// Report delivers a finding. The drivers install it.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Finding pairs a diagnostic with the analyzer that produced it and
+// its resolved source position; drivers return these.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+// String formats the finding in the conventional file:line:col form
+// used by go vet.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Position, f.Message, f.Analyzer)
+}
+
+// RunAnalyzers applies each analyzer to the package held by pass
+// template fields (Fset/Files/Pkg/TypesInfo/TypesSizes) and collects
+// sorted findings. It is the shared back half of both drivers.
+func RunAnalyzers(analyzers []*Analyzer, tmpl Pass) ([]Finding, error) {
+	var out []Finding
+	for _, a := range analyzers {
+		pass := tmpl
+		pass.Analyzer = a
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			out = append(out, Finding{
+				Analyzer: name,
+				Position: tmpl.Fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+		if _, err := a.Run(&pass); err != nil {
+			return out, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sortFindings(out)
+	return out, nil
+}
+
+func sortFindings(fs []Finding) {
+	// Insertion sort: finding counts are tiny and this avoids pulling
+	// in sort for a comparator we'd write three closures for.
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && lessFinding(fs[j], fs[j-1]); j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+func lessFinding(a, b Finding) bool {
+	if a.Position.Filename != b.Position.Filename {
+		return a.Position.Filename < b.Position.Filename
+	}
+	if a.Position.Line != b.Position.Line {
+		return a.Position.Line < b.Position.Line
+	}
+	if a.Position.Column != b.Position.Column {
+		return a.Position.Column < b.Position.Column
+	}
+	return a.Message < b.Message
+}

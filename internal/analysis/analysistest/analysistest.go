@@ -1,0 +1,249 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata/src tree and checks its diagnostics against `// want`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest for
+// the dependency-free framework in internal/analysis.
+//
+// A fixture line carrying an expectation looks like:
+//
+//	x, _ := BuildK(2, 2) // want `error .* discarded`
+//
+// Each backquoted or double-quoted string after `want` is a regular
+// expression; the line must produce one matching diagnostic per
+// expectation, and every diagnostic must be expected.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"countnet/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile("// *want +(.*)$")
+
+// Run applies a to the fixture package at dir/src/pkg and reports
+// expectation mismatches through t. Fixture imports are resolved with
+// export data from the host toolchain (see analysis.Load), so fixtures
+// may import both the standard library and this module's packages.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	src := filepath.Join(dir, "src", pkg)
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(src, e.Name())
+		af, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("analysistest: parse %s: %v", name, err)
+		}
+		files = append(files, af)
+	}
+	if len(files) == 0 {
+		t.Fatalf("analysistest: no Go files in %s", src)
+	}
+
+	expects := parseExpectations(t, fset, files)
+
+	pkgObj, info, sizes := typecheck(t, fset, files)
+	findings, err := analysis.RunAnalyzers([]*analysis.Analyzer{a}, analysis.Pass{
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkgObj,
+		TypesInfo:  info,
+		TypesSizes: sizes,
+	})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	matchFindings(t, findings, expects)
+}
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func parseExpectations(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, lit := range splitPatterns(m[1]) {
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						t.Fatalf("analysistest: %s: bad want pattern %q: %v", pos, lit, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// splitPatterns extracts the quoted or backquoted regexps following a
+// want marker.
+func splitPatterns(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return out
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		case '"':
+			lit, rest, ok := scanString(s)
+			if !ok {
+				return out
+			}
+			out = append(out, lit)
+			s = strings.TrimSpace(rest)
+		default:
+			return out
+		}
+	}
+	return out
+}
+
+func scanString(s string) (lit, rest string, ok bool) {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			unq, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", false
+			}
+			return unq, s[i+1:], true
+		}
+	}
+	return "", "", false
+}
+
+func typecheck(t *testing.T, fset *token.FileSet, files []*ast.File) (*types.Package, *types.Info, types.Sizes) {
+	t.Helper()
+	imports := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err == nil && p != "unsafe" {
+				imports[p] = true
+			}
+		}
+	}
+	var paths []string
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	imp, err := exportImporter(fset, paths)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	if sizes == nil {
+		sizes = types.SizesFor("gc", "amd64")
+	}
+	var tcErr error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    sizes,
+		Error: func(err error) {
+			if tcErr == nil {
+				tcErr = err
+			}
+		},
+	}
+	pkg, _ := conf.Check(files[0].Name.Name, fset, files, info)
+	if tcErr != nil {
+		t.Fatalf("analysistest: fixture does not typecheck: %v", tcErr)
+	}
+	return pkg, info, sizes
+}
+
+// exportImporter builds an importer over export data for the given
+// import paths (and their dependencies), produced by the host go
+// tool. The go tool runs from the test's working directory, which for
+// `go test` is the package directory — inside the module, so
+// module-internal fixture imports resolve.
+func exportImporter(fset *token.FileSet, paths []string) (types.Importer, error) {
+	if len(paths) == 0 {
+		return noImports{}, nil
+	}
+	exports, err := analysis.ListExports("", paths)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.NewExportImporter(fset, exports), nil
+}
+
+type noImports struct{}
+
+func (noImports) Import(path string) (*types.Package, error) {
+	return nil, fmt.Errorf("analysistest: unexpected import %q", path)
+}
+
+func matchFindings(t *testing.T, findings []analysis.Finding, expects []*expectation) {
+	t.Helper()
+	for _, f := range findings {
+		matched := false
+		for _, e := range expects {
+			if e.hit || e.file != f.Position.Filename || e.line != f.Position.Line {
+				continue
+			}
+			if e.re.MatchString(f.Message) {
+				e.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, e := range expects {
+		if !e.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath    string
+	Fset       *token.FileSet
+	Syntax     []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+	TypesSizes types.Sizes
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+	DepOnly    bool
+	Incomplete bool
+}
+
+// Load resolves patterns with the go tool, then parses and
+// type-checks every matched (non-dependency) package from source.
+// Dependencies — including the standard library — are consumed as
+// compiled export data emitted by `go list -export`, so loading works
+// fully offline with only the baked-in toolchain. dir is the working
+// directory for the go tool ("" for the current one).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	pkgs, exports, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var out []*Package
+	for _, lp := range pkgs {
+		if lp.DepOnly {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: load %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("analysis: load %s: cgo packages are not supported", lp.ImportPath)
+		}
+		pkg, err := checkPackage(fset, imp.forImportMap(lp.ImportMap), lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// goList runs `go list -deps -export -json` and returns the matched
+// packages plus an import-path → export-file map covering every
+// dependency.
+func goList(dir string, patterns []string) ([]listedPackage, map[string]string, error) {
+	args := []string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,CgoFiles,DepOnly,ImportMap,Incomplete,Error",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("analysis: go list: %v\n%s", err, stderr.String())
+	}
+	exports := make(map[string]string)
+	var pkgs []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("analysis: go list output: %v", err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, exports, nil
+}
+
+// checkPackage parses files and type-checks them against imp.
+func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, files []string) (*Package, error) {
+	var syntax []*ast.File
+	for _, f := range files {
+		name := f
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, f)
+		}
+		af, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %v", name, err)
+		}
+		syntax = append(syntax, af)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	if sizes == nil {
+		sizes = types.SizesFor("gc", "amd64")
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    sizes,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, _ := conf.Check(path, fset, syntax, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("analysis: typecheck %s: %v", path, firstErr)
+	}
+	return &Package{
+		PkgPath:    path,
+		Fset:       fset,
+		Syntax:     syntax,
+		Types:      tpkg,
+		TypesInfo:  info,
+		TypesSizes: sizes,
+	}, nil
+}
+
+// exportImporter resolves imports from compiled export-data files via
+// the gc importer, with an optional per-package import remapping (go
+// list's ImportMap, used for vendoring — identity in this module).
+type exportImporter struct {
+	under types.ImporterFrom
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &exportImporter{under: importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)}
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return e.under.ImportFrom(path, "", 0)
+}
+
+// forImportMap wraps the importer with a source-path → canonical-path
+// remapping; with an empty map the importer itself is returned.
+func (e *exportImporter) forImportMap(m map[string]string) types.Importer {
+	if len(m) == 0 {
+		return e
+	}
+	return &mappedImporter{under: e, m: m}
+}
+
+type mappedImporter struct {
+	under types.Importer
+	m     map[string]string
+}
+
+func (mi *mappedImporter) Import(path string) (*types.Package, error) {
+	if c, ok := mi.m[path]; ok {
+		path = c
+	}
+	return mi.under.Import(path)
+}
+
+// ListExports resolves the given import paths, plus all their
+// dependencies, to compiled export-data files via the go tool run in
+// dir ("" for the current directory).
+func ListExports(dir string, paths []string) (map[string]string, error) {
+	_, exports, err := goList(dir, paths)
+	return exports, err
+}
+
+// NewExportImporter returns an importer that reads compiled export
+// data from the files in exports (import path → file).
+func NewExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return newExportImporter(fset, exports)
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file. Some analyzers (ctorerr) deliberately exempt tests, where
+// discarding a constructor error on a known-good literal is idiomatic.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

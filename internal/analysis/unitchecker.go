@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// vetConfig mirrors the JSON configuration file cmd/go hands a
+// -vettool for each package it vets (the x/tools unitchecker.Config
+// schema). Fields the checker does not consume are retained so the
+// decoder accepts every config cmd/go produces.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOutput                string
+	VetxOnly                  bool
+	SucceedOnTypecheckFailure bool
+}
+
+// VetMain is the entry point for cmd/netvet. It speaks three
+// dialects:
+//
+//   - `netvet -V=full` and `netvet -flags`: the cmd/go handshake for
+//     external vet tools (version fingerprint, supported-flag list);
+//   - `netvet <file>.cfg`: the unitchecker protocol — cmd/go invokes
+//     the tool once per package with a JSON config naming the source
+//     files and the export data of every dependency;
+//   - `netvet [patterns]`: a standalone multichecker that loads the
+//     named packages (default ./...) itself via Load.
+//
+// It never returns: the process exits 0 with no findings, 2 with
+// findings, 1 on operational errors — matching go vet's conventions.
+func VetMain(analyzers []*Analyzer) {
+	fs := flag.NewFlagSet("netvet", flag.ExitOnError)
+	versionFlag := fs.String("V", "", "print version and exit (cmd/go tool handshake)")
+	flagsFlag := fs.Bool("flags", false, "print analyzer flags as JSON and exit (cmd/go handshake)")
+	jsonFlag := fs.Bool("json", false, "emit findings as JSON")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: netvet [packages]  |  go vet -vettool=$(command -v netvet) [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+	}
+	_ = fs.Parse(os.Args[1:])
+
+	switch {
+	case *versionFlag != "":
+		// cmd/go fingerprints external vet tools with `-V=full` and
+		// expects a single "<name> version <...>" line.
+		fmt.Printf("netvet version 1 buildID=netvet-%d-analyzers\n", len(analyzers))
+		os.Exit(0)
+	case *flagsFlag:
+		// cmd/go asks for the tool's flag schema; netvet exposes none
+		// (analyzer selection is compiled in).
+		fmt.Println("[]")
+		os.Exit(0)
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runUnitchecker(args[0], analyzers, *jsonFlag)
+		return
+	}
+	runStandalone(args, analyzers, *jsonFlag)
+}
+
+func runStandalone(patterns []string, analyzers []*Analyzer, asJSON bool) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netvet:", err)
+		os.Exit(1)
+	}
+	var all []Finding
+	for _, pkg := range pkgs {
+		fs, err := RunAnalyzers(analyzers, Pass{
+			Fset:       pkg.Fset,
+			Files:      pkg.Syntax,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.TypesInfo,
+			TypesSizes: pkg.TypesSizes,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netvet:", err)
+			os.Exit(1)
+		}
+		all = append(all, fs...)
+	}
+	emitFindings(all, asJSON)
+}
+
+func runUnitchecker(cfgFile string, analyzers []*Analyzer, asJSON bool) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatalf("read config: %v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parse config %s: %v", cfgFile, err)
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	var imp types.Importer = &mappedImporter{
+		under: &unsafeAwareImporter{importer.ForCompiler(fset, compiler, lookup).(types.ImporterFrom)},
+		m:     cfg.ImportMap,
+	}
+	pkg, err := checkPackage(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(cfg.VetxOutput)
+			os.Exit(0)
+		}
+		fatalf("%v", err)
+	}
+
+	var findings []Finding
+	if !cfg.VetxOnly {
+		findings, err = RunAnalyzers(analyzers, Pass{
+			Fset:       pkg.Fset,
+			Files:      pkg.Syntax,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.TypesInfo,
+			TypesSizes: pkg.TypesSizes,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+	// cmd/go requires the facts file to exist for its action cache,
+	// even though netvet's analyzers exchange no facts.
+	writeVetx(cfg.VetxOutput)
+	emitFindings(findings, asJSON)
+}
+
+// unsafeAwareImporter resolves "unsafe" without consulting export
+// data; cmd/go's PackageFile map has no entry for it.
+type unsafeAwareImporter struct {
+	under types.ImporterFrom
+}
+
+func (u *unsafeAwareImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return u.under.ImportFrom(path, "", 0)
+}
+
+func writeVetx(path string) {
+	if path == "" {
+		return
+	}
+	if err := os.WriteFile(path, []byte{}, 0o666); err != nil {
+		fatalf("write facts: %v", err)
+	}
+}
+
+// emitFindings prints findings and exits: 0 when clean, 2 otherwise
+// (go vet's "diagnostics reported" status).
+func emitFindings(findings []Finding, asJSON bool) {
+	if asJSON {
+		grouped := map[string][]map[string]string{}
+		for _, f := range findings {
+			grouped[f.Analyzer] = append(grouped[f.Analyzer], map[string]string{
+				"posn":    f.Position.String(),
+				"message": f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		_ = enc.Encode(grouped)
+		os.Exit(0)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f.String())
+	}
+	if len(findings) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "netvet: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

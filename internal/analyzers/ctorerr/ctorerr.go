@@ -1,0 +1,130 @@
+// Package ctorerr checks that errors returned by network constructors
+// are not discarded.
+//
+// Every construction entry point in this repository — core.K/L/R/New,
+// countnet.NewK/NewL/NewR, the baseline family, MergerNetwork,
+// BitonicConverterNetwork — returns (*Network, error), and the error
+// carries the factorization-validity analysis (empty factorizations,
+// factors below 2, width overflow). Discarding it turns a bad
+// factorization into a nil-pointer crash far from the call site, or —
+// worse — into a network that silently fails the step property.
+//
+// ctorerr flags any call whose signature ends in error and includes a
+// *Network result (from any package) when
+//
+//   - the call is used as a statement (including `go` / `defer`), or
+//   - the error result is assigned to the blank identifier.
+//
+// Test files are exempt: `n, _ := NewK(2, 2)` on a literal the test
+// itself pins is idiomatic, and a nil network fails the test
+// immediately anyway.
+package ctorerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"countnet/internal/analysis"
+)
+
+// Analyzer is the ctorerr pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctorerr",
+	Doc: "check that network constructor errors are consumed\n\n" +
+		"Calls returning (*Network, ..., error) must not be used as bare statements\n" +
+		"or have their error assigned to _. Test files are exempt.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					reportDropped(pass, call, "result of %s is unused: the constructor error is dropped")
+				}
+			case *ast.GoStmt:
+				reportDropped(pass, n.Call, "constructor error from %s is unreachable in a go statement")
+			case *ast.DeferStmt:
+				reportDropped(pass, n.Call, "constructor error from %s is unreachable in a defer statement")
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// ctorSig reports whether sig looks like a network constructor: the
+// last result is error and some result is a pointer to a named type
+// called Network. errIdx is the error result's position.
+func ctorSig(sig *types.Signature) (errIdx int, ok bool) {
+	res := sig.Results()
+	if res.Len() < 2 {
+		return 0, false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, isNamed := last.(*types.Named)
+	if !isNamed || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return 0, false
+	}
+	for i := 0; i < res.Len()-1; i++ {
+		ptr, isPtr := res.At(i).Type().(*types.Pointer)
+		if !isPtr {
+			continue
+		}
+		if n, isN := ptr.Elem().(*types.Named); isN && n.Obj().Name() == "Network" {
+			return res.Len() - 1, true
+		}
+	}
+	return 0, false
+}
+
+func callSig(pass *analysis.Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.(*types.Signature)
+	return sig
+}
+
+func reportDropped(pass *analysis.Pass, call *ast.CallExpr, format string) {
+	sig := callSig(pass, call)
+	if sig == nil {
+		return
+	}
+	if _, ok := ctorSig(sig); ok {
+		pass.Reportf(call.Pos(), "ctorerr: "+format, types.ExprString(call.Fun))
+	}
+}
+
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	// Only the multi-value form `n, err := f(...)` maps results to
+	// LHS positions one-to-one.
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sig := callSig(pass, call)
+	if sig == nil {
+		return
+	}
+	errIdx, ok := ctorSig(sig)
+	if !ok || errIdx >= len(as.Lhs) {
+		return
+	}
+	if id, isIdent := as.Lhs[errIdx].(*ast.Ident); isIdent && id.Name == "_" {
+		pass.Reportf(as.Pos(),
+			"ctorerr: error from %s assigned to _; a bad factorization becomes a nil network here — check it",
+			types.ExprString(call.Fun))
+	}
+}

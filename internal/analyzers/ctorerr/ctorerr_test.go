@@ -1,0 +1,12 @@
+package ctorerr_test
+
+import (
+	"testing"
+
+	"countnet/internal/analysis/analysistest"
+	"countnet/internal/analyzers/ctorerr"
+)
+
+func TestCtorErr(t *testing.T) {
+	analysistest.Run(t, "testdata", ctorerr.Analyzer, "a")
+}

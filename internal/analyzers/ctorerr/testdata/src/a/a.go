@@ -1,0 +1,44 @@
+// Package a is a ctorerr fixture: a constructor shaped like the
+// repository's network builders, called with its error handled,
+// discarded and dropped.
+package a
+
+import "errors"
+
+type Network struct{ width int }
+
+// BuildK mimics core.K: (*Network, error) with a factorization check.
+func BuildK(factors ...int) (*Network, error) {
+	if len(factors) == 0 {
+		return nil, errors.New("empty factorization")
+	}
+	return &Network{width: len(factors)}, nil
+}
+
+// Other returns an error without a *Network: not a constructor, never
+// flagged.
+func Other() (int, error) { return 0, nil }
+
+func dropped() {
+	BuildK(2, 2)       // want `ctorerr: result of BuildK is unused: the constructor error is dropped`
+	go BuildK(2, 2)    // want `ctorerr: constructor error from BuildK is unreachable in a go statement`
+	defer BuildK(2, 2) // want `ctorerr: constructor error from BuildK is unreachable in a defer statement`
+
+	n, _ := BuildK(2, 2) // want `ctorerr: error from BuildK assigned to _`
+	_ = n
+
+	Other() // not a constructor
+}
+
+func handled() (*Network, error) {
+	n, err := BuildK(2, 3)
+	if err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// forwarded passes the whole result through: the caller owns the error.
+func forwarded() (*Network, error) {
+	return BuildK(2, 3)
+}

@@ -1,0 +1,131 @@
+// Package fieldalign reports structs whose fields could be reordered
+// to occupy fewer bytes, a dependency-free equivalent of the x/tools
+// fieldalignment pass (which CI additionally runs at a pinned
+// version).
+//
+// The check is sizing-only and deliberately conservative about the
+// layouts this repository pins on purpose:
+//
+//   - structs containing a blank (`_`) field are skipped — blank
+//     fields are always intentional padding (false-sharing isolation,
+//     alignment scaffolding), and "optimizing" them away is a bug the
+//     padalign analyzer exists to catch from the other direction;
+//   - structs whose doc comment carries a //netvet:padalign directive
+//     are skipped for the same reason;
+//   - zero-sized fields are left alone (their legal placements have
+//     subtle aliasing consequences), and structs under three fields
+//     cannot be improved by reordering.
+//
+// A diagnostic is only emitted when a concrete reordering — sort by
+// decreasing alignment, then decreasing size — yields a strictly
+// smaller struct, so every report is actionable as stated.
+package fieldalign
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"countnet/internal/analysis"
+)
+
+// Analyzer is the fieldalign pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "fieldalign",
+	Doc: "report structs that would shrink if their fields were reordered\n\n" +
+		"Skips structs with blank padding fields and //netvet:padalign layouts,\n" +
+		"whose ordering is part of the design.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	sizes := pass.TypesSizes
+	if sizes == nil {
+		sizes = types.SizesFor("gc", "amd64")
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if hasPadalign(ts.Doc) || hasPadalign(gd.Doc) {
+					continue
+				}
+				checkStruct(pass, ts, sizes)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func hasPadalign(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, "//netvet:padalign") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkStruct(pass *analysis.Pass, ts *ast.TypeSpec, sizes types.Sizes) {
+	obj := pass.TypesInfo.Defs[ts.Name]
+	if obj == nil {
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok || st.NumFields() < 3 {
+		return
+	}
+	fields := make([]*types.Var, st.NumFields())
+	for i := range fields {
+		fv := st.Field(i)
+		if fv.Name() == "_" || sizes.Sizeof(fv.Type()) == 0 {
+			return // intentional padding / zero-size subtleties: skip
+		}
+		fields[i] = fv
+	}
+	actual := sizes.Sizeof(st)
+	sorted := append([]*types.Var(nil), fields...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		ai, aj := sizes.Alignof(sorted[i].Type()), sizes.Alignof(sorted[j].Type())
+		if ai != aj {
+			return ai > aj
+		}
+		return sizes.Sizeof(sorted[i].Type()) > sizes.Sizeof(sorted[j].Type())
+	})
+	if best := layoutSize(sorted, sizes); best < actual {
+		pass.Reportf(ts.Pos(),
+			"fieldalign: struct %s is %d bytes; reordering fields by decreasing alignment shrinks it to %d",
+			ts.Name.Name, actual, best)
+	}
+}
+
+// layoutSize computes the gc struct size for fields laid out in the
+// given order.
+func layoutSize(fields []*types.Var, sizes types.Sizes) int64 {
+	var off, maxAlign int64 = 0, 1
+	for _, fv := range fields {
+		a := sizes.Alignof(fv.Type())
+		if a > maxAlign {
+			maxAlign = a
+		}
+		off = align(off, a)
+		off += sizes.Sizeof(fv.Type())
+	}
+	return align(off, maxAlign)
+}
+
+func align(x, a int64) int64 {
+	return (x + a - 1) / a * a
+}

@@ -1,0 +1,12 @@
+package fieldalign_test
+
+import (
+	"testing"
+
+	"countnet/internal/analysis/analysistest"
+	"countnet/internal/analyzers/fieldalign"
+)
+
+func TestFieldAlign(t *testing.T) {
+	analysistest.Run(t, "testdata", fieldalign.Analyzer, "a")
+}

@@ -1,0 +1,36 @@
+// Package a is a fieldalign fixture.
+package a
+
+type waste struct { // want `fieldalign: struct waste is 24 bytes; reordering fields by decreasing alignment shrinks it to 16`
+	a byte
+	b int64
+	c byte
+}
+
+type packed struct {
+	b int64
+	a byte
+	c byte
+}
+
+// padded layouts are design, not waste: blank fields exempt a struct.
+type padded struct {
+	a byte
+	b int64
+	c byte
+	_ [40]byte
+}
+
+// pinned layouts are padalign's jurisdiction.
+//
+//netvet:padalign 24
+type pinned struct {
+	a byte
+	b int64
+	c byte
+}
+
+type tiny struct {
+	a byte
+	b int64
+}

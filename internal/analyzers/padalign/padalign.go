@@ -1,0 +1,148 @@
+// Package padalign enforces the layout contracts of structs that are
+// deliberately padded against false sharing.
+//
+// The concurrent substrates keep their contended per-gate and per-slot
+// state in structs whose exact byte size is part of the design:
+// runner.asyncHot and counter.combineSlot occupy 128 bytes so that no
+// two elements of their hot slices ever share a 64-byte cache line
+// (and adjacent-line prefetchers never couple neighbours), and
+// counter.padded places 64 bytes of padding before its counter so
+// consecutive slice elements' counters land on distinct lines. Those
+// sizes silently rot when a field is added or resized: the trailing
+// `_ [128 - N]byte` pad is hand-derived from the other fields' sizes.
+//
+// A struct opts in with a directive in its doc comment:
+//
+//	//netvet:padalign 128
+//
+// padalign then proves, at vet time, that
+//
+//   - the struct's size under gc/amd64 layout is exactly the pinned
+//     number of bytes (so any field change forces the author to
+//     re-derive the padding and revisit the sharing argument), and
+//   - every raw 64-bit field (int64/uint64) is 8-byte aligned under
+//     gc/386 layout, where the compiler does not align them naturally
+//     and sync/atomic operations on unaligned words fault. Fields of
+//     the self-aligning sync/atomic.Int64/Uint64 types are exempt.
+//
+// Sizes are computed for fixed target layouts, not the host's, so the
+// check's verdict is identical on every development machine and in CI.
+package padalign
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"countnet/internal/analysis"
+)
+
+// Analyzer is the padalign pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "padalign",
+	Doc: "check that //netvet:padalign structs keep their pinned size and 64-bit field alignment\n\n" +
+		"A struct whose doc comment carries `//netvet:padalign N` must be exactly N\n" +
+		"bytes under gc/amd64 layout, and its raw int64/uint64 fields must be 8-byte\n" +
+		"aligned under gc/386 layout.",
+	Run: run,
+}
+
+const directive = "//netvet:padalign"
+
+func run(pass *analysis.Pass) (any, error) {
+	sizesAMD64 := types.SizesFor("gc", "amd64")
+	sizes386 := types.SizesFor("gc", "386")
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				arg, ok := padalignArg(doc)
+				if !ok {
+					continue
+				}
+				checkStruct(pass, ts, arg, sizesAMD64, sizes386)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func padalignArg(doc *ast.CommentGroup) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		if rest, ok := strings.CutPrefix(c.Text, directive); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+func checkStruct(pass *analysis.Pass, ts *ast.TypeSpec, arg string, sizes64, sizes32 types.Sizes) {
+	want, err := strconv.ParseInt(arg, 10, 64)
+	if err != nil || want <= 0 {
+		pass.Reportf(ts.Pos(), "padalign: directive needs a positive byte size, got %q", arg)
+		return
+	}
+	obj := pass.TypesInfo.Defs[ts.Name]
+	if obj == nil {
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		pass.Reportf(ts.Pos(), "padalign: directive on non-struct type %s", ts.Name.Name)
+		return
+	}
+	if got := sizes64.Sizeof(st); got != want {
+		pass.Reportf(ts.Pos(),
+			"padalign: struct %s is %d bytes under gc/amd64, but the directive pins %d; re-derive the padding field and the false-sharing argument",
+			ts.Name.Name, got, want)
+	}
+
+	// 386 alignment of raw 64-bit words: the compiler only 4-aligns
+	// them there, and sync/atomic on a misaligned word faults.
+	fields := make([]*types.Var, st.NumFields())
+	for i := range fields {
+		fields[i] = st.Field(i)
+	}
+	offsets := sizes32.Offsetsof(fields)
+	for i, fv := range fields {
+		if !isRaw64(fv.Type()) {
+			continue
+		}
+		if offsets[i]%8 != 0 {
+			pass.Reportf(fv.Pos(),
+				"padalign: field %s.%s (%s) sits at offset %d under gc/386; 64-bit atomics need 8-byte alignment — move it to the front or use sync/atomic.Int64",
+				ts.Name.Name, fv.Name(), fv.Type(), offsets[i])
+		}
+	}
+}
+
+// isRaw64 reports whether t is a plain int64/uint64 (possibly through
+// named types), as opposed to the self-aligning sync/atomic wrappers.
+func isRaw64(t types.Type) bool {
+	if named, ok := t.(*types.Named); ok {
+		if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+			return false
+		}
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Kind() == types.Int64 || b.Kind() == types.Uint64
+}

@@ -1,0 +1,12 @@
+package padalign_test
+
+import (
+	"testing"
+
+	"countnet/internal/analysis/analysistest"
+	"countnet/internal/analyzers/padalign"
+)
+
+func TestPadalign(t *testing.T) {
+	analysistest.Run(t, "testdata", padalign.Analyzer, "a")
+}

@@ -1,0 +1,57 @@
+// Package a is a padalign fixture: structs that honour and violate
+// the pinned-size and 64-bit-alignment contracts.
+package a
+
+import "sync/atomic"
+
+// good mirrors runner.asyncHot: contended state first, padding derived
+// so the element is exactly 128 bytes.
+//
+//netvet:padalign 128
+type good struct {
+	count atomic.Int64
+	seq   int64
+	_     [112]byte
+}
+
+// wrongSize claims 128 bytes but a field was added without re-deriving
+// the padding.
+//
+//netvet:padalign 128
+type wrongSize struct { // want `padalign: struct wrongSize is 136 bytes under gc/amd64, but the directive pins 128`
+	count atomic.Int64
+	seq   int64
+	extra int64
+	_     [112]byte
+}
+
+// misaligned pins the right amd64 size, but its raw counter lands on a
+// 4-byte boundary under gc/386, where 64-bit atomics fault.
+//
+//netvet:padalign 16
+type misaligned struct {
+	flag bool
+	seq  int64 // want `padalign: field misaligned.seq \(int64\) sits at offset 4 under gc/386`
+}
+
+// selfAligning is fine everywhere: atomic.Int64 aligns itself.
+//
+//netvet:padalign 16
+type selfAligning struct {
+	flag bool
+	seq  atomic.Int64
+}
+
+//netvet:padalign 8
+type notStruct int // want `padalign: directive on non-struct type notStruct`
+
+//netvet:padalign big
+type badArg struct { // want `padalign: directive needs a positive byte size, got "big"`
+	x int64
+}
+
+// unpinned has no directive and is never checked.
+type unpinned struct {
+	flag bool
+	seq  int64
+}

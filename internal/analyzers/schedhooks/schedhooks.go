@@ -1,0 +1,180 @@
+// Package schedhooks polices the deterministic-replay discipline of
+// packages instrumented for the internal/sched schedule-exploration
+// harness.
+//
+// A package opts in by carrying the marker comment
+//
+//	//netvet:sched-instrumented
+//
+// anywhere in one of its files (the convention is next to the package
+// clause of the file defining the Hooked entry points). Inside an
+// instrumented package:
+//
+//   - every `go` statement must be annotated with `//netvet:allow
+//     spawn` on its own line or the line above. Instrumented
+//     substrates run their logical processes as scheduler-controlled
+//     tasks; a raw spawn is either the harness itself or a
+//     production-only worker pool, and both must be explicitly
+//     acknowledged so new spawns cannot creep onto replayed paths
+//     unaudited;
+//   - sources of nondeterminism are forbidden unless annotated with
+//     `//netvet:allow nondeterminism`: time.Now/Since/After/Tick/
+//     Sleep/NewTimer/NewTicker/AfterFunc, and math/rand's package-
+//     level functions, which draw from the shared global source.
+//     Seeded generators (rand.New, rand.NewSource, ...) are fine:
+//     they are pure functions of the recorded seed, which is exactly
+//     how the harness's strategies reproduce executions;
+//   - runtime.Gosched needs `//netvet:allow gosched`: a controlled
+//     task must park through Yield.Step/Block, never by nudging the
+//     real scheduler.
+//
+// The annotations are deliberate friction: each one marks a line the
+// next reader must re-audit against docs/TESTING.md's determinism
+// rules when touching it.
+//
+// Test files are exempt: the suites deliberately pair free-running
+// stress lanes (raw goroutines, wall-clock timeouts) with the
+// sched-controlled lanes, and only shipped code paths are replayed.
+package schedhooks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"countnet/internal/analysis"
+)
+
+// Analyzer is the schedhooks pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "schedhooks",
+	Doc: "check sched-instrumented packages for unhooked spawns and nondeterminism\n\n" +
+		"In packages marked //netvet:sched-instrumented, `go` statements, time.Now-style\n" +
+		"clock reads, global math/rand draws and runtime.Gosched must carry an explicit\n" +
+		"//netvet:allow annotation.",
+	Run: run,
+}
+
+const (
+	marker      = "//netvet:sched-instrumented"
+	allowPrefix = "//netvet:allow"
+)
+
+// forbiddenTime lists the time package functions that read the real
+// clock or schedule against it.
+var forbiddenTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true, "Tick": true,
+	"Sleep": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// allowedRand lists the math/rand package-level constructors that are
+// deterministic given a seed; everything else at package level draws
+// from the shared global source.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	instrumented := false
+	// allows maps file name → line → set of allow words on or just
+	// above that line.
+	allows := map[string]map[int][]string{}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if text == marker {
+					instrumented = true
+				}
+				if rest, ok := strings.CutPrefix(text, allowPrefix); ok {
+					words := strings.Fields(rest)
+					posn := pass.Fset.Position(c.Pos())
+					m := allows[posn.Filename]
+					if m == nil {
+						m = map[int][]string{}
+						allows[posn.Filename] = m
+					}
+					// The annotation covers its own line and the next:
+					// both `go func() { // allow` and a line-above form.
+					m[posn.Line] = append(m[posn.Line], words...)
+					m[posn.Line+1] = append(m[posn.Line+1], words...)
+				}
+			}
+		}
+	}
+	if !instrumented {
+		return nil, nil
+	}
+
+	allowed := func(pos token.Pos, word string) bool {
+		posn := pass.Fset.Position(pos)
+		for _, w := range allows[posn.Filename][posn.Line] {
+			if w == word {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, f := range pass.Files {
+		// Test files are exempt: the suites deliberately pair
+		// free-running stress lanes (raw goroutines, timeouts) with the
+		// sched-controlled lanes; the discipline binds shipped paths.
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if !allowed(n.Pos(), "spawn") {
+					pass.Reportf(n.Pos(),
+						"schedhooks: goroutine spawned in a sched-instrumented package; run it as a harness task (sched.Runner.Go) or annotate with %s spawn", allowPrefix)
+				}
+			case *ast.CallExpr:
+				checkCall(pass, n, allowed)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, allowed func(token.Pos, string) bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgPath := importedPackage(pass, ident)
+	name := sel.Sel.Name
+	switch {
+	case pkgPath == "time" && forbiddenTime[name]:
+		if !allowed(call.Pos(), "nondeterminism") {
+			pass.Reportf(call.Pos(),
+				"schedhooks: time.%s in a sched-instrumented package breaks deterministic replay; thread the value in from the caller or annotate with %s nondeterminism", name, allowPrefix)
+		}
+	case pkgPath == "math/rand" && !allowedRand[name]:
+		if !allowed(call.Pos(), "nondeterminism") {
+			pass.Reportf(call.Pos(),
+				"schedhooks: rand.%s draws from math/rand's global source; use a seeded rand.New(rand.NewSource(seed)) or annotate with %s nondeterminism", name, allowPrefix)
+		}
+	case pkgPath == "runtime" && name == "Gosched":
+		if !allowed(call.Pos(), "gosched") {
+			pass.Reportf(call.Pos(),
+				"schedhooks: runtime.Gosched in a sched-instrumented package; controlled tasks park via Yield.Step/Block — annotate with %s gosched if this is a production-only path", allowPrefix)
+		}
+	}
+}
+
+// importedPackage resolves ident to the import path of the package it
+// names, or "" if it is not a package qualifier.
+func importedPackage(pass *analysis.Pass, ident *ast.Ident) string {
+	if pn, ok := pass.TypesInfo.Uses[ident].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}

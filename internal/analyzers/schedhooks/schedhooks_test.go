@@ -1,0 +1,16 @@
+package schedhooks_test
+
+import (
+	"testing"
+
+	"countnet/internal/analysis/analysistest"
+	"countnet/internal/analyzers/schedhooks"
+)
+
+func TestInstrumentedPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", schedhooks.Analyzer, "a")
+}
+
+func TestUnmarkedPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", schedhooks.Analyzer, "b")
+}

@@ -1,0 +1,58 @@
+// Package a is a schedhooks fixture: an instrumented package with
+// hooked and unhooked concurrency.
+//
+//netvet:sched-instrumented
+package a
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+)
+
+func work() {}
+
+func spawns() {
+	go work() // want `schedhooks: goroutine spawned in a sched-instrumented package`
+
+	//netvet:allow spawn
+	go work()
+
+	go work() //netvet:allow spawn
+}
+
+func clock() time.Time {
+	return time.Now() // want `schedhooks: time\.Now in a sched-instrumented package breaks deterministic replay`
+}
+
+func pause() {
+	time.Sleep(time.Millisecond) // want `schedhooks: time\.Sleep`
+	//netvet:allow nondeterminism
+	time.Sleep(time.Millisecond)
+}
+
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // deterministic: allowed
+}
+
+func global() int {
+	return rand.Intn(10) // want `schedhooks: rand\.Intn draws from math/rand's global source`
+}
+
+func spin() {
+	runtime.Gosched() // want `schedhooks: runtime\.Gosched in a sched-instrumented package`
+
+	//netvet:allow gosched
+	runtime.Gosched()
+}
+
+// methodCalls exercises the selector path that must NOT be flagged: a
+// method named like a forbidden function on a non-package receiver.
+type fakeClock struct{}
+
+func (fakeClock) Now() int { return 0 }
+
+func methods() int {
+	var c fakeClock
+	return c.Now()
+}

@@ -1,0 +1,12 @@
+// Package b has no sched-instrumented marker: nothing is flagged even
+// though it spawns goroutines and reads the clock.
+package b
+
+import "time"
+
+func work() {}
+
+func free() time.Time {
+	go work()
+	return time.Now()
+}

@@ -15,6 +15,15 @@ import (
 	"countnet/internal/verify"
 )
 
+// mustNet unwraps a constructor result whose arguments are fixed
+// literals in this file; construction errors are programming errors.
+func mustNet(n *network.Network, err error) *network.Network {
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
 func mustK(fs ...int) *network.Network {
 	n, err := core.K(fs...)
 	if err != nil {
@@ -177,7 +186,7 @@ func E5VsBitonic(maxLog int) *Table {
 		for i := range fs {
 			fs[i] = 2
 		}
-		bi, _ := baseline.Bitonic(w)
+		bi := mustNet(baseline.Bitonic(w))
 		kn := mustK(fs...)
 		ln := mustL(fs...)
 		t.AddRow(w, k, bi.Depth(), baseline.PeriodicDepth(w), kn.Depth(), ln.Depth(),
@@ -211,15 +220,15 @@ func E6Counterexample() *Table {
 		}
 		t.AddRow(n.Name, n.Width(), n.Depth(), okErr(sortErr) == "ok", okErr(countErr) == "ok", witness)
 	}
-	bu, _ := baseline.Bubble(4)
-	oe, _ := baseline.OddEvenMergeSort(4)
-	bi, _ := baseline.Bitonic(4)
-	pe, _ := baseline.Periodic(4)
+	bu := mustNet(baseline.Bubble(4))
+	oe := mustNet(baseline.OddEvenMergeSort(4))
+	bi := mustNet(baseline.Bitonic(4))
+	pe := mustNet(baseline.Periodic(4))
 	add(bu)
 	add(oe)
 	add(bi)
 	add(pe)
-	bu6, _ := baseline.Bubble(6)
+	bu6 := mustNet(baseline.Bubble(6))
 	add(bu6)
 	return t
 }
@@ -240,11 +249,11 @@ func E7Isomorphism() *Table {
 		mustK(2, 3), mustK(2, 3, 5), mustK(3, 3, 2),
 		mustL(2, 3), mustL(2, 3, 5), mustL(4, 3, 2),
 	}
-	r53, _ := core.R(5, 3)
-	r77, _ := core.R(7, 7)
+	r53 := mustNet(core.R(5, 3))
+	r77 := mustNet(core.R(7, 7))
 	nets = append(nets, r53, r77)
-	bi, _ := baseline.Bitonic(16)
-	pe, _ := baseline.Periodic(8)
+	bi := mustNet(baseline.Bitonic(16))
+	pe := mustNet(baseline.Periodic(8))
 	nets = append(nets, bi, pe)
 	for _, n := range nets {
 		t.AddRow(n.Name, n.Width(), n.Depth(),
@@ -289,7 +298,7 @@ func E8Staircase() *Table {
 				}
 				d := 1
 				if baseName == "R" {
-					rn, _ := core.R(p, q)
+					rn := mustNet(core.R(p, q))
 					d = rn.Depth()
 				}
 				status := okErr(verifyStaircase(s, r, p, q, rng))
@@ -396,8 +405,8 @@ func E11Construction() *Table {
 		{"L(2^8)", func() *network.Network { return mustL(2, 2, 2, 2, 2, 2, 2, 2) }},
 		{"L(6,5,4,3)", func() *network.Network { return mustL(6, 5, 4, 3) }},
 		{"K(10,9,8,7)", func() *network.Network { return mustK(10, 9, 8, 7) }},
-		{"Bitonic(1024)", func() *network.Network { n, _ := baseline.Bitonic(1024); return n }},
-		{"Periodic(256)", func() *network.Network { n, _ := baseline.Periodic(256); return n }},
+		{"Bitonic(1024)", func() *network.Network { return mustNet(baseline.Bitonic(1024)) }},
+		{"Periodic(256)", func() *network.Network { return mustNet(baseline.Periodic(256)) }},
 	}
 	for _, c := range cases {
 		start := time.Now()
@@ -426,7 +435,7 @@ func E12SortThroughput(batches int) *Table {
 	nets := []*network.Network{
 		mustL(2, 2, 2, 2, 2, 2), mustL(4, 4, 4), mustL(8, 8), mustK(8, 8), mustK(4, 4, 4),
 	}
-	bi, _ := baseline.Bitonic(64)
+	bi := mustNet(baseline.Bitonic(64))
 	nets = append(nets, bi)
 	for _, n := range nets {
 		in := make([]int64, n.Width())

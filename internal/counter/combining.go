@@ -53,6 +53,8 @@ const (
 // (nor a slot and its neighbours' traffic) share a cache line. The
 // owner fills buf and n, publishes with state; the combiner writes n
 // values into buf before flipping state to done.
+//
+//netvet:padalign 128
 type combineSlot struct {
 	state atomic.Int32
 	n     int32   // values requested
@@ -167,6 +169,9 @@ func (h *CombiningHandle) await() {
 		}
 		// Another combiner holds the lock but had already collected its
 		// batch before our publish. Yield and retry.
+		// Production-only spin; controlled runs use the hooked paths,
+		// which park via Yield.Block instead of spinning.
+		//netvet:allow gosched
 		runtime.Gosched()
 	}
 }

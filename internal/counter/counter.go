@@ -13,6 +13,12 @@
 // intermediate balancer widths perform best.
 package counter
 
+// The concurrent paths in this package are explored by the
+// internal/sched harness; executions must replay deterministically
+// from a recorded schedule (see docs/TESTING.md).
+//
+//netvet:sched-instrumented
+
 import (
 	"fmt"
 	"sync"
@@ -52,6 +58,11 @@ type BlockCounter interface {
 	NextBlock(dst []int64)
 }
 
+// padded spaces local counters a full cache line apart: the 64 bytes
+// of leading padding keep consecutive slice elements' counters on
+// distinct lines regardless of the slice's base alignment.
+//
+//netvet:padalign 72
 type padded struct {
 	_ [64]byte
 	v atomic.Int64

@@ -1,0 +1,178 @@
+package netcheck
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"countnet/internal/core"
+	"countnet/internal/factor"
+	"countnet/internal/network"
+	"countnet/internal/verify"
+)
+
+const diffSeed = 0xD1FF
+
+// loadGolden decodes one committed golden network.
+func loadGolden(t *testing.T, name string) *network.Network {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "core", "testdata", name+".golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n network.Network
+	if err := json.Unmarshal(data, &n); err != nil {
+		t.Fatal(err)
+	}
+	return &n
+}
+
+// TestGoldenStaticVsRuntime is the differential test the static layer
+// hangs off: for every golden K/L/R (and D) network, the statically
+// proven facts must agree with what internal/verify observes by
+// pushing tokens — same depth, same width bound verdict, and a
+// positive counting verdict wherever the static proof passes.
+func TestGoldenStaticVsRuntime(t *testing.T) {
+	cases := []struct {
+		name     string
+		counting bool // D alone converts bitonic inputs only; skip the counting battery
+		prove    func(n *network.Network) Proof
+	}{
+		{"K_2_2_2", true, func(n *network.Network) Proof { return ProveK(n, []int{2, 2, 2}) }},
+		{"L_2_3", true, func(n *network.Network) Proof { return ProveL(n, []int{2, 3}) }},
+		{"R_3_3", true, func(n *network.Network) Proof { return ProveR(n, 3, 3) }},
+		{"R_5_7", true, func(n *network.Network) Proof { return ProveR(n, 5, 7) }},
+		{"D_3_4", false, func(n *network.Network) Proof { return ProveD(n, 3, 4) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n := loadGolden(t, tc.name)
+
+			proof := tc.prove(n)
+			if err := proof.Err(); err != nil {
+				t.Fatalf("static proof failed: %v", err)
+			}
+
+			// Depth: the statically recomputed critical path, the
+			// recorded layerization, and the runtime bound check must
+			// all name the same number.
+			sd := StaticDepth(n)
+			if sd != n.Depth() {
+				t.Fatalf("static depth %d != recorded depth %d", sd, n.Depth())
+			}
+			if err := verify.CheckDepth(n, sd); err != nil {
+				t.Fatalf("runtime disagrees static depth %d is enough: %v", sd, err)
+			}
+			if err := verify.CheckDepth(n, sd-1); err == nil {
+				t.Fatalf("runtime accepts depth bound %d below static depth %d", sd-1, sd)
+			}
+
+			// Width: the tightest bound that passes statically must be
+			// the tightest that passes at runtime, and one below must
+			// fail for both.
+			maxW := 0
+			for i := range n.Gates {
+				if w := n.Gates[i].Width(); w > maxW {
+					maxW = w
+				}
+			}
+			if err := CheckWidthBound(n, maxW); err != nil {
+				t.Fatalf("static width bound %d: %v", maxW, err)
+			}
+			if err := verify.CheckBalancerWidth(n, maxW); err != nil {
+				t.Fatalf("runtime width bound %d: %v", maxW, err)
+			}
+			if CheckWidthBound(n, maxW-1) == nil || verify.CheckBalancerWidth(n, maxW-1) == nil {
+				t.Fatalf("width bound %d should fail both statically and at runtime", maxW-1)
+			}
+
+			// Behaviour: wherever the static proof passes, the dynamic
+			// battery must too.
+			if tc.counting {
+				if err := verify.IsCountingNetworkSeeded(n, diffSeed); err != nil {
+					t.Fatalf("static proof passed but runtime battery failed: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestSweepStaticVsRuntime extends the agreement beyond the golden
+// snapshots: across a K/L factorization sweep, static and runtime
+// verdicts must coincide gate-for-gate on depth and width.
+func TestSweepStaticVsRuntime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow in -short mode")
+	}
+	for _, w := range []int{12, 16} {
+		for _, fs := range factor.Factorizations(w, 2) {
+			for _, fam := range []struct {
+				build func(...int) (*network.Network, error)
+				prove func(*network.Network, []int) Proof
+			}{
+				{core.K, ProveK},
+				{core.L, ProveL},
+			} {
+				n, err := fam.build(fs...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p := fam.prove(n, fs); p.Err() != nil {
+					t.Fatalf("%s: static proof failed: %v", n.Name, p.Err())
+				}
+				sd := StaticDepth(n)
+				if sd != n.Depth() {
+					t.Fatalf("%s: static depth %d != recorded %d", n.Name, sd, n.Depth())
+				}
+				if err := verify.CheckDepth(n, sd); err != nil {
+					t.Fatalf("%s: runtime depth: %v", n.Name, err)
+				}
+				if err := verify.IsCountingNetworkSeeded(n, diffSeed); err != nil {
+					t.Fatalf("%s: static proof passed but runtime battery failed: %v", n.Name, err)
+				}
+			}
+		}
+	}
+}
+
+// TestMutantsStaticConsistency mirrors internal/verify's mutation
+// tests on the static side. The static layer proves structure, not
+// counting semantics, so it need not catch every mutant the token
+// battery catches — but on every single-gate deletion mutant the
+// static depth must still agree with the Builder's recorded depth,
+// and deleting a whole layer must refute Proposition 6's exact depth
+// formula.
+func TestMutantsStaticConsistency(t *testing.T) {
+	n, err := core.K(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := []int{2, 2, 2}
+	if p := ProveK(n, fs); p.Err() != nil {
+		t.Fatalf("intact network: %v", p.Err())
+	}
+	for idx := range n.Gates {
+		m := verify.MutateRemoveGate(n, idx)
+		if sd := StaticDepth(m); sd != m.Depth() {
+			t.Errorf("remove gate %d: static depth %d != recorded %d", idx, sd, m.Depth())
+		}
+	}
+	// Every layer of K(2,2,2) holds parallel critical paths, so no
+	// single deletion shortens the network; deleting the whole final
+	// layer must.
+	b := network.NewBuilder(n.Width())
+	for i := range n.Gates {
+		if n.Gates[i].Layer == n.Depth() {
+			continue
+		}
+		b.Add(n.Gates[i].Wires, n.Gates[i].Label)
+	}
+	m := b.Build(n.Name+"-chopped", n.OutputOrder)
+	if sd := StaticDepth(m); sd != n.Depth()-1 {
+		t.Fatalf("chopped network has static depth %d, want %d", sd, n.Depth()-1)
+	}
+	if p := ProveK(m, fs); p.Err() == nil {
+		t.Fatal("layer deletion not refuted statically")
+	}
+}

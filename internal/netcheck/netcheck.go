@@ -1,0 +1,289 @@
+// Package netcheck proves properties of constructed networks from the
+// wiring alone — no tokens are pushed and no values are sorted.
+//
+// The paper's guarantees are structural: balancer-width bounds
+// (max(pi·pj) for family K, max(p,q) for R and the bitonic converter
+// D), exact depth formulas (Proposition 1 for the generic counting
+// network, Proposition 3 for the merger, Proposition 6's
+// 1.5n² − 3.5n + 2 for K, Theorem 7's bound for L), and the validity
+// of the layerization itself. All of these are decidable by walking
+// the gate list, in the same spirit in which Bundala & Závodný verify
+// sorting-network properties statically rather than by simulation.
+// cmd/verifyall runs these proofs next to the dynamic (token-pushing,
+// value-sorting) batteries of internal/verify, so every construction
+// in the matrix is confirmed twice, by independent means.
+//
+// Checks re-derive everything they assert from Gates/Wires: the
+// recorded Layer fields and the cached depth are cross-checked, never
+// trusted, so netcheck also guards the Builder's layer assignment
+// against regression.
+package netcheck
+
+import (
+	"fmt"
+	"strings"
+
+	"countnet/internal/core"
+	"countnet/internal/network"
+)
+
+// Property is one statically-proven (or refuted) fact.
+type Property struct {
+	// Name states the claim, e.g. "layering", "width<=15", "depth=5".
+	Name string
+	// Err is nil when the claim is proven from the wiring.
+	Err error
+}
+
+// Proof is the result of proving a family's property bundle for one
+// network.
+type Proof struct {
+	Network string
+	Props   []Property
+}
+
+func (p *Proof) add(name string, err error) {
+	p.Props = append(p.Props, Property{Name: name, Err: err})
+}
+
+// Err returns the first failed property, or nil if everything is
+// proven.
+func (p *Proof) Err() error {
+	for _, pr := range p.Props {
+		if pr.Err != nil {
+			return fmt.Errorf("%s: %s: %w", p.Network, pr.Name, pr.Err)
+		}
+	}
+	return nil
+}
+
+// Summary renders the proof as a compact one-line table cell:
+// "layering=ok fan=ok width<=15=ok depth=5=ok".
+func (p *Proof) Summary() string {
+	parts := make([]string, len(p.Props))
+	for i, pr := range p.Props {
+		status := "ok"
+		if pr.Err != nil {
+			status = "FAIL"
+		}
+		parts[i] = pr.Name + "=" + status
+	}
+	return strings.Join(parts, " ")
+}
+
+// CheckFanInOut verifies fan-in/fan-out soundness: every gate touches
+// at least two distinct in-range wires (a p-balancer has exactly p
+// inputs and p outputs — the same wires), gate IDs agree with
+// topological positions, and OutputOrder reads every wire exactly
+// once.
+func CheckFanInOut(n *network.Network) error {
+	w := n.Width()
+	if w < 0 {
+		return fmt.Errorf("negative width %d", w)
+	}
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		if g.ID != i {
+			return fmt.Errorf("gate at position %d carries ID %d", i, g.ID)
+		}
+		if g.Width() < 2 {
+			return fmt.Errorf("gate %d has fan-in %d < 2", i, g.Width())
+		}
+		seen := make(map[int]bool, g.Width())
+		for _, wire := range g.Wires {
+			if wire < 0 || wire >= w {
+				return fmt.Errorf("gate %d touches wire %d outside width %d", i, wire, w)
+			}
+			if seen[wire] {
+				return fmt.Errorf("gate %d touches wire %d twice: fan-in != fan-out", i, wire)
+			}
+			seen[wire] = true
+		}
+	}
+	if len(n.OutputOrder) != w {
+		return fmt.Errorf("output order reads %d wires, want %d", len(n.OutputOrder), w)
+	}
+	read := make([]bool, w)
+	for _, wire := range n.OutputOrder {
+		if wire < 0 || wire >= w {
+			return fmt.Errorf("output order reads wire %d outside width %d", wire, w)
+		}
+		if read[wire] {
+			return fmt.Errorf("output order reads wire %d twice", wire)
+		}
+		read[wire] = true
+	}
+	return nil
+}
+
+// CheckLayering verifies that the recorded layerization is valid: no
+// gate reads a wire before (or at) the layer of the wire's previous
+// writer — which also forces gates within one layer to be
+// wire-disjoint — and the recorded depth is exactly the maximum layer.
+func CheckLayering(n *network.Network) error {
+	lastLayer := make([]int, n.Width())
+	maxLayer := 0
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		if g.Layer < 1 {
+			return fmt.Errorf("gate %d at layer %d < 1", i, g.Layer)
+		}
+		for _, wire := range g.Wires {
+			if wire < 0 || wire >= n.Width() {
+				return fmt.Errorf("gate %d touches wire %d outside width %d", i, wire, n.Width())
+			}
+			if g.Layer <= lastLayer[wire] {
+				return fmt.Errorf("gate %d at layer %d reads wire %d whose writer is at layer %d",
+					i, g.Layer, wire, lastLayer[wire])
+			}
+		}
+		for _, wire := range g.Wires {
+			lastLayer[wire] = g.Layer
+		}
+		if g.Layer > maxLayer {
+			maxLayer = g.Layer
+		}
+	}
+	if maxLayer != n.Depth() {
+		return fmt.Errorf("recorded depth %d, maximum layer %d", n.Depth(), maxLayer)
+	}
+	return nil
+}
+
+// StaticDepth recomputes the critical-path depth from the wiring
+// alone: the length of the longest gate chain, ignoring the recorded
+// Layer fields entirely. This is the quantity the paper's depth
+// propositions speak about.
+func StaticDepth(n *network.Network) int {
+	wireDepth := make([]int, n.Width())
+	depth := 0
+	for i := range n.Gates {
+		layer := 0
+		for _, wire := range n.Gates[i].Wires {
+			if wireDepth[wire] > layer {
+				layer = wireDepth[wire]
+			}
+		}
+		layer++
+		for _, wire := range n.Gates[i].Wires {
+			wireDepth[wire] = layer
+		}
+		if layer > depth {
+			depth = layer
+		}
+	}
+	return depth
+}
+
+// CheckWidthBound verifies every balancer's width against the
+// family's bound.
+func CheckWidthBound(n *network.Network, bound int) error {
+	for i := range n.Gates {
+		if w := n.Gates[i].Width(); w > bound {
+			return fmt.Errorf("gate %d (%s) has width %d > bound %d", i, n.Gates[i].Label, w, bound)
+		}
+	}
+	return nil
+}
+
+// CheckDepthExact verifies the recomputed critical path equals want.
+func CheckDepthExact(n *network.Network, want int) error {
+	if got := StaticDepth(n); got != want {
+		return fmt.Errorf("static depth %d, formula %d", got, want)
+	}
+	return nil
+}
+
+// CheckDepthAtMost verifies the recomputed critical path is within
+// bound.
+func CheckDepthAtMost(n *network.Network, bound int) error {
+	if got := StaticDepth(n); got > bound {
+		return fmt.Errorf("static depth %d exceeds bound %d", got, bound)
+	}
+	return nil
+}
+
+// checkIO verifies the network's width matches the factorization.
+func checkIO(n *network.Network, wantWidth int) error {
+	if n.Width() != wantWidth {
+		return fmt.Errorf("width %d, construction promises %d", n.Width(), wantWidth)
+	}
+	return nil
+}
+
+// structural adds the family-independent properties.
+func (p *Proof) structural(n *network.Network, wantWidth int) {
+	p.add("io", checkIO(n, wantWidth))
+	p.add("fan", CheckFanInOut(n))
+	p.add("layering", CheckLayering(n))
+}
+
+// ProveK proves family K's paper properties for a built network:
+// width p0·…·pn−1, balancers of width at most max(pi·pj), and depth
+// exactly 1.5n² − 3.5n + 2 (Proposition 6; equivalently Proposition 1
+// instantiated with d = 1, sd = 3).
+func ProveK(n *network.Network, factors []int) Proof {
+	p := Proof{Network: n.Name}
+	p.structural(n, core.Product(factors))
+	wb := core.MaxPairProduct(factors)
+	p.add(fmt.Sprintf("width<=%d", wb), CheckWidthBound(n, wb))
+	d := core.KDepth(len(factors))
+	p.add(fmt.Sprintf("depth=%d", d), CheckDepthExact(n, d))
+	return p
+}
+
+// ProveL proves family L's paper properties: width p0·…·pn−1,
+// balancers of width at most max(pi), and depth at most
+// 9.5n² − 12.5n + 3 (Theorem 7).
+func ProveL(n *network.Network, factors []int) Proof {
+	p := Proof{Network: n.Name}
+	p.structural(n, core.Product(factors))
+	wb := core.MaxFactor(factors)
+	p.add(fmt.Sprintf("width<=%d", wb), CheckWidthBound(n, wb))
+	d := core.LDepthBound(len(factors))
+	p.add(fmt.Sprintf("depth<=%d", d), CheckDepthAtMost(n, d))
+	return p
+}
+
+// ProveR proves R(p,q)'s Section 5.3 properties: width p·q, balancers
+// of width at most max(p,q), and constant depth at most 16.
+func ProveR(n *network.Network, p, q int) Proof {
+	pr := Proof{Network: n.Name}
+	pr.structural(n, p*q)
+	wb := maxInt(p, q)
+	pr.add(fmt.Sprintf("width<=%d", wb), CheckWidthBound(n, wb))
+	pr.add(fmt.Sprintf("depth<=%d", core.RDepthBound), CheckDepthAtMost(n, core.RDepthBound))
+	return pr
+}
+
+// ProveD proves the bitonic converter D(p,q)'s Section 4.4
+// properties: width p·q, balancers of width at most max(p,q), depth
+// exactly 2.
+func ProveD(n *network.Network, p, q int) Proof {
+	pr := Proof{Network: n.Name}
+	pr.structural(n, p*q)
+	wb := maxInt(p, q)
+	pr.add(fmt.Sprintf("width<=%d", wb), CheckWidthBound(n, wb))
+	pr.add("depth=2", CheckDepthExact(n, 2))
+	return pr
+}
+
+// ProveMergerK proves Proposition 3 on the family-K merger
+// M(p0..pn−1): depth exactly d + (n−2)·sd with d = 1, sd = 3, and the
+// K balancer-width bound.
+func ProveMergerK(n *network.Network, factors []int) Proof {
+	p := Proof{Network: n.Name}
+	p.structural(n, core.Product(factors))
+	wb := core.MaxPairProduct(factors)
+	p.add(fmt.Sprintf("width<=%d", wb), CheckWidthBound(n, wb))
+	d := core.MDepth(len(factors), 1, 3)
+	p.add(fmt.Sprintf("depth=%d", d), CheckDepthExact(n, d))
+	return p
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,191 @@
+package netcheck
+
+import (
+	"strings"
+	"testing"
+
+	"countnet/internal/core"
+	"countnet/internal/factor"
+	"countnet/internal/network"
+)
+
+// TestProveFamiliesSweep statically proves the paper's propositions
+// across the same factorization sweep cmd/verifyall uses dynamically:
+// every factorization of widths 12/16/24/30 for K and L, an R(p,q)
+// grid, and a D(p,q) grid. This is the compile-time half of the
+// construction matrix.
+func TestProveFamiliesSweep(t *testing.T) {
+	for _, w := range []int{12, 16, 24, 30} {
+		for _, fs := range factor.Factorizations(w, 2) {
+			k, err := core.K(fs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p := ProveK(k, fs); p.Err() != nil {
+				t.Errorf("K%v: %v", fs, p.Err())
+			}
+			l, err := core.L(fs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p := ProveL(l, fs); p.Err() != nil {
+				t.Errorf("L%v: %v", fs, p.Err())
+			}
+			if len(fs) >= 2 {
+				m, err := core.MergerNetwork(core.KConfig(), fs...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p := ProveMergerK(m, fs); p.Err() != nil {
+					t.Errorf("M%v: %v", fs, p.Err())
+				}
+			}
+		}
+	}
+	for p := 2; p <= 9; p++ {
+		for q := 2; q <= 9; q++ {
+			r, err := core.R(p, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pr := ProveR(r, p, q); pr.Err() != nil {
+				t.Errorf("R(%d,%d): %v", p, q, pr.Err())
+			}
+			d, err := core.BitonicConverterNetwork(p, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pr := ProveD(d, p, q); pr.Err() != nil {
+				t.Errorf("D(%d,%d): %v", p, q, pr.Err())
+			}
+		}
+	}
+}
+
+// TestProp1Identity pins the arithmetic identity behind ProveK's depth
+// claim: Proposition 6's closed form is Proposition 1 instantiated
+// with base depth 1 and staircase depth 3.
+func TestProp1Identity(t *testing.T) {
+	for n := 2; n <= 64; n++ {
+		if core.KDepth(n) != core.CDepth(n, 1, 3) {
+			t.Fatalf("n=%d: KDepth=%d, CDepth(n,1,3)=%d", n, core.KDepth(n), core.CDepth(n, 1, 3))
+		}
+	}
+}
+
+// corrupt returns a deep copy of n's gates so tests can break wiring
+// without touching the shared original.
+func corrupt(n *network.Network) *network.Network {
+	c := *n
+	c.Gates = append([]network.Gate(nil), n.Gates...)
+	for i := range c.Gates {
+		c.Gates[i].Wires = append([]int(nil), n.Gates[i].Wires...)
+	}
+	c.OutputOrder = append([]int(nil), n.OutputOrder...)
+	return &c
+}
+
+func TestLayeringDetectsEarlyRead(t *testing.T) {
+	n, err := core.K(2, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckLayering(n); err != nil {
+		t.Fatalf("intact network rejected: %v", err)
+	}
+	// Pull a late gate onto layer 1: it now reads wires before their
+	// earlier writers have run.
+	c := corrupt(n)
+	c.Gates[len(c.Gates)-1].Layer = 1
+	if err := CheckLayering(c); err == nil {
+		t.Fatal("layer-1 collision not detected")
+	}
+}
+
+func TestFanDetectsBadWiring(t *testing.T) {
+	n, err := core.K(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckFanInOut(n); err != nil {
+		t.Fatalf("intact network rejected: %v", err)
+	}
+
+	oob := corrupt(n)
+	oob.Gates[0].Wires[0] = n.Width() + 3
+	if err := CheckFanInOut(oob); err == nil {
+		t.Fatal("out-of-range wire not detected")
+	}
+
+	dup := corrupt(n)
+	dup.Gates[0].Wires[0] = dup.Gates[0].Wires[1]
+	if err := CheckFanInOut(dup); err == nil {
+		t.Fatal("duplicate wire (fan-in != fan-out) not detected")
+	}
+
+	badOut := corrupt(n)
+	badOut.OutputOrder[0] = badOut.OutputOrder[1]
+	if err := CheckFanInOut(badOut); err == nil {
+		t.Fatal("non-permutation output order not detected")
+	}
+}
+
+func TestDepthFormulaDetectsExtraLayer(t *testing.T) {
+	fs := []int{2, 3, 5}
+	n, err := core.K(fs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An extra balancer on wires {0,1} deepens the critical path past
+	// Proposition 6's exact value; StaticDepth must see through the
+	// recorded Layer fields and refute the formula.
+	c := corrupt(n)
+	c.Gates = append(c.Gates, network.Gate{
+		ID:    len(c.Gates),
+		Wires: []int{0, 1},
+		Layer: n.Depth() + 1,
+		Label: "extra",
+	})
+	if got, want := StaticDepth(c), core.KDepth(len(fs))+1; got != want {
+		t.Fatalf("StaticDepth=%d, want %d", got, want)
+	}
+	if p := ProveK(c, fs); p.Err() == nil {
+		t.Fatal("depth corruption not refuted")
+	}
+}
+
+func TestWidthBoundDetectsWideGate(t *testing.T) {
+	fs := []int{2, 2, 3}
+	n, err := core.K(fs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := corrupt(n)
+	// Widen gate 0 beyond max(pi*pj) = 6.
+	c.Gates[0].Wires = []int{0, 1, 2, 3, 4, 5, 6}
+	if err := CheckWidthBound(c, core.MaxPairProduct(fs)); err == nil {
+		t.Fatal("over-wide balancer not detected")
+	}
+}
+
+func TestProofReporting(t *testing.T) {
+	n, err := core.R(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := ProveR(n, 3, 4)
+	if good.Err() != nil {
+		t.Fatalf("R(3,4): %v", good.Err())
+	}
+	if s := good.Summary(); !strings.Contains(s, "layering=ok") || !strings.Contains(s, "width<=4=ok") {
+		t.Fatalf("summary %q missing expected cells", s)
+	}
+
+	bad := ProveR(n, 3, 3) // wrong family parameters: io + width bound fail
+	if bad.Err() == nil {
+		t.Fatal("mismatched parameters not refuted")
+	}
+	if s := bad.Summary(); !strings.Contains(s, "FAIL") {
+		t.Fatalf("summary %q does not mark failures", s)
+	}
+}

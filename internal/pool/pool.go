@@ -13,6 +13,12 @@
 // user would build with them.
 package pool
 
+// The concurrent paths in this package are explored by the
+// internal/sched harness; executions must replay deterministically
+// from a recorded schedule (see docs/TESTING.md).
+//
+//netvet:sched-instrumented
+
 import (
 	"fmt"
 	"sync"

@@ -1,5 +1,11 @@
 package runner
 
+// The concurrent paths in this package are explored by the
+// internal/sched harness; executions must replay deterministically
+// from a recorded schedule (see docs/TESTING.md).
+//
+//netvet:sched-instrumented
+
 import (
 	"fmt"
 	"sync"
@@ -38,6 +44,8 @@ type Async struct {
 // leaving each gate's counter on the same line as its routing slice
 // headers. 128 rather than 64 also defeats adjacent-line prefetching
 // between neighbouring counters.
+//
+//netvet:padalign 128
 type asyncHot struct {
 	count atomic.Int64
 	mu    sync.Mutex
@@ -197,6 +205,9 @@ func (a *Async) ExitCounts(tokensPerWire int, workers int) []int64 {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		// Production-only worker pool; controlled runs drive tokens as
+		// harness tasks through TraverseHooked instead.
+		//netvet:allow spawn
 		go func() {
 			defer wg.Done()
 			for {

@@ -91,6 +91,9 @@ func NewPipeline(net *network.Network, buffer int) *Pipeline {
 	for li, ids := range layers {
 		li, ids := li, ids
 		p.wg.Add(1)
+		// Production-only stage goroutine; the sched harness explores the
+		// pipeline through the hooked token paths, not these workers.
+		//netvet:allow spawn
 		go func() {
 			defer p.wg.Done()
 			defer close(p.stages[li+1])
@@ -176,6 +179,8 @@ func (plan *Plan) SortBatches(batches [][]int64, workers int) {
 	var wg sync.WaitGroup
 	for g := 0; g < workers; g++ {
 		wg.Add(1)
+		// Production-only worker pool (see NewParallel); not a replayed path.
+		//netvet:allow spawn
 		go func() {
 			defer wg.Done()
 			for {

@@ -279,6 +279,9 @@ func (p *Plan) NewParallel(workers int) *Parallel {
 	}
 	for w := 0; w < workers; w++ {
 		pl.work[w] = make(chan int, 1)
+		// Production-only worker pool for the synchronous plan engine;
+		// the sched harness explores the asynchronous token paths.
+		//netvet:allow spawn
 		go pl.worker(w)
 	}
 	return pl

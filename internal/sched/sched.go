@@ -17,6 +17,12 @@
 // PCT-style priority scheduler) for large ones; see explore.go.
 package sched
 
+// The concurrent paths in this package are explored by the
+// internal/sched harness; executions must replay deterministically
+// from a recorded schedule (see docs/TESTING.md).
+//
+//netvet:sched-instrumented
+
 import (
 	"fmt"
 	"runtime"
@@ -143,6 +149,9 @@ func Run(strat Strategy, maxSteps int, tasks []TaskFunc) (*Trace, error) {
 		}
 		ts[i] = t
 		fn := fn
+		// This spawn IS the harness hook: the task goroutine runs only
+		// when the central scheduler hands it the baton.
+		//netvet:allow spawn
 		go func() {
 			select {
 			case <-t.resume:
