@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench bench-plan bench-counter bench-smoke fuzz soak vet fmt lint netvet experiments examples clean
+.PHONY: all build test race short bench bench-plan bench-counter bench-obs bench-smoke obs-smoke fuzz soak vet fmt lint netvet experiments examples clean
 
 all: build vet test
 
@@ -66,6 +66,16 @@ bench-counter:
 	$(GO) test -run '^$$' -bench $(BENCH_COUNTER_KEY) -benchmem -benchtime 300ms . \
 		| $(GO) run ./cmd/benchjson -out BENCH_counter.json -set current
 
+# Observability guard lane: the obs=off/obs=on pairs of
+# BenchmarkObsOverhead, recorded to BENCH_obs.json together with the
+# on/off overhead ratios. The obs=off rows pin the disabled-path cost
+# (acceptance: within noise of the seed BenchmarkTraverseParallel /
+# BenchmarkCounterCombining numbers).
+bench-obs:
+	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchmem -benchtime 300ms . \
+		| $(GO) run ./cmd/benchjson -out BENCH_obs.json -set current -overhead \
+			-note "obs=off lanes must track BenchmarkTraverseParallel/BenchmarkCounterCombining within noise (<=2%)"
+
 # One-iteration smoke of the same lanes for CI: proves the benchmarks
 # and the JSON tooling run, without timing anything.
 bench-smoke:
@@ -73,6 +83,22 @@ bench-smoke:
 		| $(GO) run ./cmd/benchjson -out /tmp/bench_smoke.json -set smoke
 	$(GO) test -run '^$$' -bench $(BENCH_COUNTER_KEY) -benchmem -benchtime 1x . \
 		| $(GO) run ./cmd/benchjson -out /tmp/bench_counter_smoke.json -set smoke
+	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchmem -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson -out /tmp/bench_obs_smoke.json -set smoke -overhead
+
+# End-to-end observability smoke: countbench serves the obs endpoint
+# while netmon scrapes and validates /snapshot, /metrics and
+# /debug/vars once, then the server is interrupted and must exit
+# cleanly. Run by the CI bench-smoke job.
+obs-smoke:
+	$(GO) build -o bin/countbench ./cmd/countbench
+	$(GO) build -o bin/netmon ./cmd/netmon
+	./bin/countbench -width 4 -duration 20ms -repeat 1 -goroutines 2 \
+		-counter network,combining -obs -http 127.0.0.1:8720 -linger >/dev/null & \
+	CB=$$!; \
+	./bin/netmon -addr 127.0.0.1:8720 -once -validate -timeout 10s; RC=$$?; \
+	kill -INT $$CB 2>/dev/null; wait $$CB 2>/dev/null; \
+	exit $$RC
 
 # Continuous fuzzing entry points (each runs until interrupted).
 fuzz:

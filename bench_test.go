@@ -11,6 +11,7 @@ import (
 	"countnet/internal/baseline"
 	"countnet/internal/core"
 	"countnet/internal/counter"
+	"countnet/internal/obs"
 	"countnet/internal/pool"
 	"countnet/internal/runner"
 )
@@ -475,5 +476,53 @@ func BenchmarkTraverseBatch(b *testing.B) {
 				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*tokens), "ns/token")
 			})
 		}
+	}
+}
+
+// BenchmarkObsOverhead is the observability guard lane: the same
+// contended workloads as BenchmarkTraverseParallel and
+// BenchmarkCounterCombining, run with instrumentation compiled in but
+// disabled (obs=off — the state every production caller is in unless
+// they opt in) and with it recording (obs=on). The obs=off rows must
+// track the seed benchmarks within noise; `make bench-obs` commits
+// both sides to BENCH_obs.json and benchjson -overhead reports the
+// ratio.
+func BenchmarkObsOverhead(b *testing.B) {
+	n, err := core.L(4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := n.Width()
+	for _, mode := range []string{"obs=off", "obs=on"} {
+		obsOn := mode == "obs=on"
+		b.Run("traverse_"+n.Name+"/"+mode, func(b *testing.B) {
+			a := runner.Compile(n)
+			if obsOn {
+				a.EnableObs("bench-traverse")
+			}
+			var next atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				wire := int(next.Add(1)) % w
+				for pb.Next() {
+					a.Traverse(wire)
+					wire = (wire + 1) % w
+				}
+			})
+		})
+		b.Run("combining_"+n.Name+"/"+mode, func(b *testing.B) {
+			c := counter.NewCombiningCounter(n)
+			if obsOn {
+				// A private registry: benchmarks must not leave groups
+				// behind in the process-wide default.
+				c.EnableObs("bench-combining", obs.NewRegistry())
+			}
+			var id atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				h := c.Handle(int(id.Add(1)))
+				for pb.Next() {
+					h.Next()
+				}
+			})
+		})
 	}
 }

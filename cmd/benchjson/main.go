@@ -36,13 +36,20 @@ type Result struct {
 type Set struct {
 	Note    string   `json:"note,omitempty"`
 	Results []Result `json:"results"`
+	// Overhead maps a benchmark base name to the obs=on / obs=off
+	// ns/op ratio of its pair of lanes (1.00 = instrumentation free;
+	// written by -overhead). The obs=off lane is the production
+	// default, so the committed off-lane numbers double as the
+	// regression guard for the disabled path.
+	Overhead map[string]float64 `json:"overhead,omitempty"`
 }
 
 func main() {
 	var (
-		out  = flag.String("out", "BENCH_plan.json", "output JSON file (existing sets other than -set are preserved)")
-		set  = flag.String("set", "current", "name of the result set to write")
-		note = flag.String("note", "", "free-form note stored with the set")
+		out      = flag.String("out", "BENCH_plan.json", "output JSON file (existing sets other than -set are preserved)")
+		set      = flag.String("set", "current", "name of the result set to write")
+		note     = flag.String("note", "", "free-form note stored with the set")
+		overhead = flag.Bool("overhead", false, "pair results differing only in an obs=off/obs=on suffix and store their ns/op ratios as the set's overhead table")
 	)
 	flag.Parse()
 
@@ -64,6 +71,17 @@ func main() {
 		}
 	}
 	sets[*set] = &Set{Note: *note, Results: results}
+	if *overhead {
+		table := overheadTable(results)
+		if len(table) == 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: -overhead found no obs=off/obs=on pairs")
+			os.Exit(1)
+		}
+		sets[*set].Overhead = table
+		for name, ratio := range table {
+			fmt.Fprintf(os.Stderr, "benchjson: overhead %s = %.3f\n", name, ratio)
+		}
+	}
 
 	data, err := json.MarshalIndent(sets, "", "  ")
 	if err != nil {
@@ -121,6 +139,29 @@ func parse(sc *bufio.Scanner) ([]Result, error) {
 		}
 	}
 	return results, sc.Err()
+}
+
+// overheadTable pairs results whose names differ only in an "obs=off"
+// vs "obs=on" component and maps each base name (the name with the
+// component dropped) to the on/off ns/op ratio.
+func overheadTable(results []Result) map[string]float64 {
+	off := map[string]float64{}
+	on := map[string]float64{}
+	for _, r := range results {
+		if strings.Contains(r.Name, "obs=off") {
+			off[strings.ReplaceAll(r.Name, "obs=off", "")] = r.NsPerOp
+		}
+		if strings.Contains(r.Name, "obs=on") {
+			on[strings.ReplaceAll(r.Name, "obs=on", "")] = r.NsPerOp
+		}
+	}
+	table := map[string]float64{}
+	for base, offNs := range off {
+		if onNs, ok := on[base]; ok && offNs > 0 {
+			table[strings.TrimSuffix(base, "/")] = onNs / offNs
+		}
+	}
+	return table
 }
 
 // stripProcs removes the trailing -GOMAXPROCS suffix from a benchmark

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bufio"
+	"math"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+BenchmarkObsOverhead/traverse_L(4,4)/obs=off-8   1000   100.0 ns/op   0 B/op   0 allocs/op
+BenchmarkObsOverhead/traverse_L(4,4)/obs=on-8    1000   150.0 ns/op   0 B/op   0 allocs/op
+BenchmarkObsOverhead/combining_L(4,4)/obs=off-8  1000   200.0 ns/op
+BenchmarkCounter/plain-8                         1000   50.0 ns/op
+PASS
+`
+
+func TestParseAndOverheadTable(t *testing.T) {
+	results, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(results))
+	}
+	if results[0].Name != "BenchmarkObsOverhead/traverse_L(4,4)/obs=off" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", results[0].Name)
+	}
+
+	table := overheadTable(results)
+	// Only traverse has both lanes; combining lacks obs=on and the
+	// plain benchmark has neither, so exactly one pair forms.
+	if len(table) != 1 {
+		t.Fatalf("overhead table %v, want exactly the traverse pair", table)
+	}
+	got, ok := table["BenchmarkObsOverhead/traverse_L(4,4)"]
+	if !ok || math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("overhead ratio = %v (ok=%v), want 1.5", got, ok)
+	}
+}

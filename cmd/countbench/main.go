@@ -14,15 +14,25 @@
 //	countbench -counter network,combining     # choose counter engines
 //	countbench -counter combining -block 16   # block requests (values/sec)
 //	countbench -engine gates                  # sort via the gate-list walker
+//	countbench -obs                           # record + print per-balancer metrics
+//	countbench -obs -http :8720 -linger       # keep serving /snapshot, /metrics
+//
+// countbench shuts down cleanly on SIGINT/SIGTERM: the current
+// measurement window is interrupted, remaining cells are skipped, the
+// observability snapshot (when -obs) is flushed, and the -http
+// endpoint is drained before exit.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"countnet/internal/bench"
@@ -30,6 +40,7 @@ import (
 	"countnet/internal/counter"
 	"countnet/internal/factor"
 	"countnet/internal/network"
+	"countnet/internal/obs"
 	"countnet/internal/runner"
 	"countnet/internal/stats"
 )
@@ -44,8 +55,16 @@ func main() {
 		repeat     = flag.Int("repeat", 3, "measurements per cell; cells report mean and relative stddev")
 		engine     = flag.String("engine", "plan", "batch-sort engine: gates (gate-list walker), plan (compiled plan), or parallel (layer-parallel plan)")
 		sortBatch  = flag.Int("sortbatches", 4096, "batches per batch-sort measurement")
+		obsOn      = flag.Bool("obs", false, "record observability metrics for network counters and print the table at exit (docs/OBSERVABILITY.md)")
+		httpAddr   = flag.String("http", "", "serve observability endpoints (/snapshot, /metrics, /debug/vars) on this address; implies -obs")
+		linger     = flag.Bool("linger", false, "with -http: keep serving after the sweep until interrupted")
 	)
 	flag.Parse()
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *httpAddr != "" {
+		*obsOn = true
+	}
 	if *repeat < 1 {
 		*repeat = 1
 	}
@@ -84,6 +103,17 @@ func main() {
 		}
 	}
 
+	var srv *obs.Server
+	if *httpAddr != "" {
+		var err error
+		srv, err = obs.Default.StartServer(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "countbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "countbench: observability endpoint on http://%s/ (/snapshot, /metrics, /debug/vars)\n", srv.Addr())
+	}
+
 	tbl := &bench.Table{
 		ID:    "countbench",
 		Title: fmt.Sprintf("Fetch&Increment throughput, width %d, block %d (values/sec)", *width, *block),
@@ -93,11 +123,28 @@ func main() {
 		tbl.Header = append(tbl.Header, fmt.Sprintf("g=%d", g))
 	}
 
+	// measure sweeps one counter engine across the goroutine steps. mk
+	// rebuilds the counter per window (each cell starts quiescent);
+	// with -obs every rebuild re-registers under the same group name,
+	// replacing the previous window's group, so endpoint scrapes always
+	// see the live engine. Each window runs under pprof labels naming
+	// the engine and cell, and aborts early once ctx is canceled.
 	measure := func(name string, mk func() counter.Counter) {
 		row := []interface{}{name}
 		for _, g := range steps {
+			phase := fmt.Sprintf("g=%d", g)
 			s := stats.Repeat(*repeat, func() float64 {
-				return bench.MeasureCounter(mk(), bench.ThroughputOptions{Goroutines: g, Duration: *duration, Block: *block})
+				if ctx.Err() != nil {
+					return 0
+				}
+				var rate float64
+				obs.Do(name, phase, func() {
+					rate = bench.MeasureCounter(mk(), bench.ThroughputOptions{
+						Goroutines: g, Duration: *duration, Block: *block,
+						Interrupt: ctx.Done(),
+					})
+				})
+				return rate
 			})
 			cell := fmt.Sprintf("%.2fM", s.Mean/1e6)
 			if *repeat > 1 {
@@ -121,35 +168,75 @@ func main() {
 			fmt.Fprintln(os.Stderr, "countbench:", err)
 			os.Exit(1)
 		}
-		name := fmt.Sprintf("L[%s] depth=%d bal<=%d", join(fs), net.Depth(), core.MaxFactor(fs))
+		base := fmt.Sprintf("L[%s]", join(fs))
+		name := fmt.Sprintf("%s depth=%d bal<=%d", base, net.Depth(), core.MaxFactor(fs))
 		if want["network"] {
-			measure(name, func() counter.Counter { return counter.NewNetworkCounter(net, false) })
+			measure(name, func() counter.Counter {
+				c := counter.NewNetworkCounter(net, false)
+				if *obsOn {
+					c.EnableObs(base, nil)
+				}
+				return c
+			})
 		}
 		if want["network-mutex"] {
-			measure(name+" (mutex)", func() counter.Counter { return counter.NewNetworkCounter(net, true) })
+			measure(name+" (mutex)", func() counter.Counter {
+				c := counter.NewNetworkCounter(net, true)
+				if *obsOn {
+					c.EnableObs(base+".mutex", nil)
+				}
+				return c
+			})
 		}
 		if want["combining"] {
-			measure(name+" (combining)", func() counter.Counter { return counter.NewCombiningCounter(net) })
+			measure(name+" (combining)", func() counter.Counter {
+				c := counter.NewCombiningCounter(net)
+				if *obsOn {
+					c.EnableObs(base+".combining", nil)
+				}
+				return c
+			})
 		}
 	}
 	tbl.Fprint(os.Stdout)
 	fmt.Println()
 
-	sortTbl := &bench.Table{
-		ID:     "countbench-sort",
-		Title:  fmt.Sprintf("batch-sort throughput, width %d, engine %s (%d batches)", *width, *engine, *sortBatch),
-		Header: []string{"network", "depth", "gates", "ns/batch"},
-	}
-	for _, fs := range factor.Factorizations(*width, 2) {
-		net, err := core.L(fs...)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "countbench:", err)
-			os.Exit(1)
+	if ctx.Err() == nil {
+		sortTbl := &bench.Table{
+			ID:     "countbench-sort",
+			Title:  fmt.Sprintf("batch-sort throughput, width %d, engine %s (%d batches)", *width, *engine, *sortBatch),
+			Header: []string{"network", "depth", "gates", "ns/batch"},
 		}
-		ns := measureSort(net, *engine, *sortBatch)
-		sortTbl.AddRow(fmt.Sprintf("L[%s]", join(fs)), net.Depth(), net.Size(), fmt.Sprint(ns))
+		for _, fs := range factor.Factorizations(*width, 2) {
+			net, err := core.L(fs...)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "countbench:", err)
+				os.Exit(1)
+			}
+			ns := measureSort(net, *engine, *sortBatch)
+			sortTbl.AddRow(fmt.Sprintf("L[%s]", join(fs)), net.Depth(), net.Size(), fmt.Sprint(ns))
+		}
+		sortTbl.Fprint(os.Stdout)
 	}
-	sortTbl.Fprint(os.Stdout)
+
+	if *linger && srv != nil && ctx.Err() == nil {
+		fmt.Fprintf(os.Stderr, "countbench: sweep done; still serving on http://%s/ — interrupt to exit\n", srv.Addr())
+		<-ctx.Done()
+	}
+
+	// Flush the final observability snapshot before the endpoint goes
+	// away, so interrupted soak runs still leave their metrics behind.
+	if *obsOn {
+		fmt.Println()
+		fmt.Print(obs.RenderTable(nil, obs.Default.Snapshot(), 0))
+	}
+	if srv != nil {
+		shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "countbench: shutdown:", err)
+		}
+	}
 }
 
 // measureSort pushes `batches` random batches through the network with

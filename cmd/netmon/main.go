@@ -1,0 +1,167 @@
+// Command netmon attaches to a running observability endpoint (e.g.
+// `countbench -obs -http=:8720 -linger`, or any process serving
+// countnet.ObsHandler) and renders a live per-layer contention and
+// throughput table: tokens per balancer layer, rates over the refresh
+// interval, the share of the busiest balancer, contention events, and
+// the operation latency histograms. See docs/OBSERVABILITY.md for how
+// to read the table against the paper's contention model.
+//
+// Usage:
+//
+//	netmon -addr localhost:8720                # refresh every second
+//	netmon -addr localhost:8720 -interval 250ms -count 20
+//	netmon -addr localhost:8720 -once          # one snapshot, no deltas
+//	netmon -addr localhost:8720 -once -validate # smoke-check the endpoint
+//
+// netmon retries the first scrape until -timeout, so it can be started
+// before (or while) the monitored process comes up.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"countnet/internal/obs"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:8720", "host:port of the observability endpoint")
+		interval = flag.Duration("interval", time.Second, "refresh interval (delta rates cover one interval)")
+		count    = flag.Int("count", 0, "number of refreshes, 0 = until interrupted")
+		once     = flag.Bool("once", false, "take a single snapshot and exit (no delta column)")
+		validate = flag.Bool("validate", false, "also verify /snapshot, /metrics and /debug/vars payload shapes; exit non-zero on mismatch")
+		timeout  = flag.Duration("timeout", 5*time.Second, "time to keep retrying the first scrape")
+	)
+	flag.Parse()
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	base := "http://" + *addr
+	client := &http.Client{Timeout: 2 * time.Second}
+
+	cur, err := scrapeFirst(ctx, client, base, *timeout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netmon:", err)
+		os.Exit(1)
+	}
+	if *validate {
+		if err := validateEndpoint(client, base, cur); err != nil {
+			fmt.Fprintln(os.Stderr, "netmon: validate:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "netmon: endpoint payloads OK")
+	}
+	fmt.Print(obs.RenderTable(nil, *cur, 0))
+	if *once {
+		return
+	}
+
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	prev := cur
+	for n := 1; *count == 0 || n < *count; n++ {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		next, err := scrape(client, base)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netmon:", err)
+			os.Exit(1)
+		}
+		elapsed := time.Duration(next.TakenUnixNano-prev.TakenUnixNano) * time.Nanosecond
+		fmt.Println()
+		fmt.Print(obs.RenderTable(prev, *next, elapsed))
+		prev = next
+	}
+}
+
+// scrapeFirst retries the snapshot scrape until deadline so netmon can
+// start before the monitored process finishes binding its endpoint.
+func scrapeFirst(ctx context.Context, client *http.Client, base string, timeout time.Duration) (*obs.Snapshot, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		s, err := scrape(client, base)
+		if err == nil {
+			return s, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("no snapshot from %s within %v: %w", base, timeout, err)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+func scrape(client *http.Client, base string) (*obs.Snapshot, error) {
+	body, err := get(client, base+"/snapshot")
+	if err != nil {
+		return nil, err
+	}
+	var s obs.Snapshot
+	if err := json.Unmarshal(body, &s); err != nil {
+		return nil, fmt.Errorf("/snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+// validateEndpoint smoke-checks all three exposition formats — used by
+// `make obs-smoke` to gate CI on the endpoint actually serving
+// well-formed payloads.
+func validateEndpoint(client *http.Client, base string, snap *obs.Snapshot) error {
+	if len(snap.Groups) == 0 {
+		return fmt.Errorf("/snapshot has no observed groups (is the target running with -obs?)")
+	}
+	if snap.TakenUnixNano == 0 {
+		return fmt.Errorf("/snapshot is not timestamped")
+	}
+	for _, g := range snap.Groups {
+		if g.Name == "" || g.Kind == "" {
+			return fmt.Errorf("/snapshot group missing name or kind: %+v", g)
+		}
+	}
+
+	body, err := get(client, base+"/metrics")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(body), "countnet_") {
+		return fmt.Errorf("/metrics has no countnet_ series")
+	}
+
+	body, err = get(client, base+"/debug/vars")
+	if err != nil {
+		return err
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		return fmt.Errorf("/debug/vars: %w", err)
+	}
+	return nil
+}
+
+func get(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}

@@ -308,9 +308,14 @@ type Counter struct {
 // NewCounter builds a counter over the given counting network. The
 // caller is responsible for passing a network that actually counts
 // (anything from NewK/NewL/NewR/NewBitonic/NewPeriodic does). Every
-// Next shepherds its own token through the balancers.
-func NewCounter(n *Network) *Counter {
-	return &Counter{inner: counter.NewNetworkCounter(n.inner, false)}
+// Next shepherds its own token through the balancers. Pass
+// WithObservability to record per-balancer metrics.
+func NewCounter(n *Network, opts ...Option) *Counter {
+	c := counter.NewNetworkCounter(n.inner, false)
+	if o := buildOptions(opts); o.obsName != "" {
+		c.EnableObs(o.obsName, nil)
+	}
+	return &Counter{inner: c}
 }
 
 // NewCombiningCounter builds a flat-combining counter over the given
@@ -318,9 +323,14 @@ func NewCounter(n *Network) *Counter {
 // pushed through the network as a single batch (one fetch-and-add per
 // balancer per batch), then the claimed value blocks are handed back.
 // Same contract as NewCounter, higher throughput under contention and
-// for block draws; see docs/PERFORMANCE.md.
-func NewCombiningCounter(n *Network) *Counter {
-	return &Counter{inner: counter.NewCombiningCounter(n.inner)}
+// for block draws; see docs/PERFORMANCE.md. Pass WithObservability to
+// record combine-pass and per-balancer metrics.
+func NewCombiningCounter(n *Network, opts ...Option) *Counter {
+	c := counter.NewCombiningCounter(n.inner)
+	if o := buildOptions(opts); o.obsName != "" {
+		c.EnableObs(o.obsName, nil)
+	}
+	return &Counter{inner: c}
 }
 
 // Next issues the next value. Safe for concurrent use; in tight loops

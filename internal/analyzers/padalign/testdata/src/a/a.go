@@ -55,3 +55,53 @@ type unpinned struct {
 	flag bool
 	seq  int64
 }
+
+// gateObs mirrors obs.GateObs: two independently padded counters in
+// one 128-byte element, so a gate's token count and its contention
+// count never share a cache line with each other or with neighbours.
+//
+//netvet:padalign 128
+type gateObs struct {
+	tokens    atomic.Int64
+	_         [56]byte
+	contended atomic.Int64
+	_         [56]byte
+}
+
+// paddedCount mirrors obs.PaddedCount: one counter per 128-byte
+// element.
+//
+//netvet:padalign 128
+type paddedCount struct {
+	v atomic.Int64
+	_ [120]byte
+}
+
+// hist mirrors obs.Hist: five leading atomics, a 64-bucket atomic
+// array, and trailing padding rounding the element to 576 bytes so
+// adjacent histograms in a slice never share the watermark line.
+//
+//netvet:padalign 576
+type hist struct {
+	count      atomic.Int64
+	sum        atomic.Int64
+	min        atomic.Int64
+	max        atomic.Int64
+	casRetries atomic.Int64
+	buckets    [64]atomic.Int64
+	_          [24]byte
+}
+
+// histShrunk is hist after someone halves the bucket count without
+// re-deriving the padding — the directive catches the stale pin.
+//
+//netvet:padalign 576
+type histShrunk struct { // want `padalign: struct histShrunk is 320 bytes under gc/amd64, but the directive pins 576`
+	count      atomic.Int64
+	sum        atomic.Int64
+	min        atomic.Int64
+	max        atomic.Int64
+	casRetries atomic.Int64
+	buckets    [32]atomic.Int64
+	_          [24]byte
+}

@@ -23,6 +23,11 @@ type ThroughputOptions struct {
 	// counter lacks block support). Throughput counts values, not
 	// calls, so block and per-value runs are directly comparable.
 	Block int
+	// Interrupt, when non-nil, aborts the measurement early once it
+	// becomes receivable (e.g. a context's Done channel): workers stop
+	// and the rate covers only the time actually measured. A window
+	// interrupted during warmup reports 0.
+	Interrupt <-chan struct{}
 }
 
 // MeasureCounter runs Goroutines workers hammering the counter for the
@@ -72,10 +77,14 @@ func MeasureCounter(c counter.Counter, opt ThroughputOptions) float64 {
 			counts[g*8] = n
 		}(g)
 	}
-	time.Sleep(opt.Warmup)
+	if !sleepInterruptible(opt.Warmup, opt.Interrupt) {
+		stop.Store(true)
+		wg.Wait()
+		return 0
+	}
 	measuring.Store(true)
 	start := time.Now()
-	time.Sleep(opt.Duration)
+	sleepInterruptible(opt.Duration, opt.Interrupt)
 	stop.Store(true)
 	elapsed := time.Since(start)
 	wg.Wait()
@@ -84,6 +93,23 @@ func MeasureCounter(c counter.Counter, opt ThroughputOptions) float64 {
 		total += counts[g*8]
 	}
 	return float64(total) / elapsed.Seconds()
+}
+
+// sleepInterruptible sleeps for d, returning early (false) as soon as
+// interrupt is receivable. A nil interrupt is a plain sleep.
+func sleepInterruptible(d time.Duration, interrupt <-chan struct{}) bool {
+	if interrupt == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-interrupt:
+		return false
+	}
 }
 
 // Environment returns a one-line description of the measurement

@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"countnet/internal/counter"
+)
+
+// TestMeasureCounterInterrupt: a closed Interrupt channel aborts the
+// window promptly — countbench relies on this for clean SIGINT
+// shutdown mid-sweep.
+func TestMeasureCounterInterrupt(t *testing.T) {
+	ch := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(ch)
+	}()
+	start := time.Now()
+	MeasureCounter(counter.NewAtomicCounter(), ThroughputOptions{
+		Goroutines: 2, Duration: time.Hour, Interrupt: ch,
+	})
+	if e := time.Since(start); e > 5*time.Second {
+		t.Fatalf("interrupted measurement returned after %v", e)
+	}
+}
+
+// TestMeasureCounterInterruptDuringWarmup: interrupt before the window
+// opens reports a zero rate rather than hanging or dividing by zero.
+func TestMeasureCounterInterruptDuringWarmup(t *testing.T) {
+	ch := make(chan struct{})
+	close(ch)
+	rate := MeasureCounter(counter.NewAtomicCounter(), ThroughputOptions{
+		Goroutines: 1, Duration: time.Hour, Warmup: time.Hour, Interrupt: ch,
+	})
+	if rate != 0 {
+		t.Fatalf("warmup-interrupted rate = %v, want 0", rate)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"countnet/internal/network"
+	"countnet/internal/obs"
 	"countnet/internal/runner"
 )
 
@@ -39,6 +40,11 @@ type CombiningCounter struct {
 	scratch *runner.BatchScratch
 	pending []*combineSlot // scratch: slots drained this pass
 	vals    []int64        // scratch: values minted this pass
+
+	// watch is the observability hook, nil unless EnableObs was called;
+	// the combine pass and the handle spin loop pay one nil-check each
+	// when disabled.
+	watch *obs.CombineObs
 }
 
 // slot states. Only the owning handle moves idle->pending and
@@ -82,6 +88,23 @@ func NewCombiningCounter(net *network.Network) *CombiningCounter {
 
 // Width returns the width of the underlying network.
 func (c *CombiningCounter) Width() int { return int(c.width) }
+
+// EnableObs attaches observability under the given group name and
+// registers it with r (obs.Default when nil). Idempotent; call before
+// the counter sees concurrent traffic. When enabled, each combine pass
+// records its queue depth, values served and latency, handles count
+// their spin retries, and the underlying network records per-gate
+// token counts and batch sizes.
+func (c *CombiningCounter) EnableObs(name string, r *obs.Registry) *obs.CombineObs {
+	if c.watch == nil {
+		c.watch = obs.NewCombineObs(name, c.async.EnableObs(name))
+	}
+	if r == nil {
+		r = obs.Default
+	}
+	r.Register(name, c.watch)
+	return c.watch
+}
 
 // Next issues one value. Prefer Handle in concurrent loops: a direct
 // Next always blocks on the combiner lock, while handles publish their
@@ -152,6 +175,7 @@ func (h *CombiningHandle) NextBlock(dst []int64) {
 // draining the slot.
 func (h *CombiningHandle) await() {
 	s, c := h.slot, h.c
+	o := c.watch
 	s.state.Store(slotPending)
 	for {
 		if c.combine.TryLock() {
@@ -169,6 +193,9 @@ func (h *CombiningHandle) await() {
 		}
 		// Another combiner holds the lock but had already collected its
 		// batch before our publish. Yield and retry.
+		if o != nil {
+			o.SpinRetries.Inc()
+		}
 		// Production-only spin; controlled runs use the hooked paths,
 		// which park via Yield.Block instead of spinning.
 		//netvet:allow gosched
@@ -181,6 +208,14 @@ func (h *CombiningHandle) await() {
 // whole demand through the network as one batch, and distributes the
 // minted values. Caller must hold c.combine.
 func (c *CombiningCounter) combineLocked(extra []int64) {
+	// Observability is woven into this one body (unlike Traverse's
+	// split) because a pass already amortizes a whole batch traversal:
+	// the nil-checks below are noise next to the work they guard.
+	o := c.watch
+	var start int64
+	if o != nil {
+		start = obs.Now()
+	}
 	pend := c.pending[:0]
 	total := int64(len(extra))
 	for _, s := range *c.slots.Load() {
@@ -192,6 +227,15 @@ func (c *CombiningCounter) combineLocked(extra []int64) {
 	if total == 0 {
 		c.pending = pend
 		return
+	}
+	if o != nil {
+		o.Passes.Inc()
+		o.PassQueue.Observe(int64(len(pend)))
+		o.PassServed.Observe(total)
+		// Args bind now, the clock reads at return: the sample covers
+		// the full pass. The region brackets the same span for traces.
+		defer o.PassNs.ObserveSince(start)
+		defer obs.Region("countnet.combine-pass").End()
 	}
 	// Inject the batch round-robin from the entry cursor. The counting
 	// property holds for any distribution of tokens over input wires,

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"countnet/internal/network"
+	"countnet/internal/obs"
 	"countnet/internal/runner"
 )
 
@@ -77,6 +78,10 @@ type NetworkCounter struct {
 	useMu   bool
 	entry   atomic.Int64
 	locals  []padded
+
+	// watch is the observability hook, nil unless EnableObs was
+	// called; the value paths pay one nil-check when disabled.
+	watch *obs.CounterObs
 }
 
 // NewNetworkCounter builds a counter over the given counting network.
@@ -94,6 +99,22 @@ func NewNetworkCounter(net *network.Network, mutexBalancers bool) *NetworkCounte
 
 // Width returns the width of the underlying network.
 func (c *NetworkCounter) Width() int { return c.width }
+
+// EnableObs attaches observability under the given group name and
+// registers it with r (obs.Default when nil). Idempotent; call before
+// the counter sees concurrent traffic. When enabled, every issued
+// value records an ops count and a Next-latency sample, and the
+// underlying network records per-gate token counts.
+func (c *NetworkCounter) EnableObs(name string, r *obs.Registry) *obs.CounterObs {
+	if c.watch == nil {
+		c.watch = obs.NewCounterObs(name, c.async.EnableObs(name))
+	}
+	if r == nil {
+		r = obs.Default
+	}
+	r.Register(name, c.watch)
+	return c.watch
+}
 
 // Next issues a value, dispatching the entry wire from a shared
 // round-robin counter. This is the slow path: every call pays a
@@ -114,6 +135,9 @@ func (c *NetworkCounter) NextBlock(dst []int64) {
 }
 
 func (c *NetworkCounter) nextOn(wire int) int64 {
+	if o := c.watch; o != nil {
+		return c.nextOnObs(wire, o)
+	}
 	var pos int
 	if c.useMu {
 		pos = c.async.TraverseMutex(wire)
@@ -121,6 +145,23 @@ func (c *NetworkCounter) nextOn(wire int) int64 {
 		pos = c.async.Traverse(wire)
 	}
 	k := c.locals[pos].v.Add(1) - 1
+	return k*c.width64 + int64(pos)
+}
+
+// nextOnObs is nextOn with observability: same traversal and value
+// arithmetic (the traversal's own recording happens inside Async),
+// plus the end-to-end latency sample and ops count.
+func (c *NetworkCounter) nextOnObs(wire int, o *obs.CounterObs) int64 {
+	start := obs.Now()
+	var pos int
+	if c.useMu {
+		pos = c.async.TraverseMutex(wire)
+	} else {
+		pos = c.async.Traverse(wire)
+	}
+	k := c.locals[pos].v.Add(1) - 1
+	o.Ops.Inc()
+	o.NextNs.ObserveSince(start)
 	return k*c.width64 + int64(pos)
 }
 

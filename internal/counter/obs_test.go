@@ -1,0 +1,199 @@
+package counter
+
+// Tests for the counters' observability integration: obs-off value
+// streams must match the seed bit for bit, obs-off and obs-on hot
+// paths must stay allocation-free, and the recorded metrics must
+// account for the operations actually performed.
+
+import (
+	"testing"
+
+	"countnet/internal/obs"
+)
+
+// TestNetworkCounterObsDifferential: enabling observability changes no
+// issued value. Two counters over the same network, driven by the same
+// single-threaded request sequence, must produce identical streams.
+func TestNetworkCounterObsDifferential(t *testing.T) {
+	net := testNetwork(t)
+	for _, mutex := range []bool{false, true} {
+		plain := NewNetworkCounter(net, mutex)
+		seen := NewNetworkCounter(net, mutex)
+		seen.EnableObs("ctr-diff", obs.NewRegistry())
+		ph, sh := plain.Handle(1), seen.Handle(1)
+		for i := 0; i < 300; i++ {
+			if p, s := ph.Next(), sh.Next(); p != s {
+				t.Fatalf("mutex=%v op %d: plain issued %d, observed issued %d", mutex, i, p, s)
+			}
+		}
+	}
+}
+
+// TestCombiningCounterObsDifferential: same for the flat-combining
+// counter, over a mixed Next/NextBlock sequence.
+func TestCombiningCounterObsDifferential(t *testing.T) {
+	net := testNetwork(t)
+	plain := NewCombiningCounter(net)
+	seen := NewCombiningCounter(net)
+	o := seen.EnableObs("cmb-diff", obs.NewRegistry())
+	ph, sh := plain.Handle(0).(*CombiningHandle), seen.Handle(0).(*CombiningHandle)
+	served := int64(0)
+	for i := 0; i < 100; i++ {
+		if p, s := ph.Next(), sh.Next(); p != s {
+			t.Fatalf("op %d: plain issued %d, observed issued %d", i, p, s)
+		}
+		served++
+		n := 1 + i%7
+		pb, sb := make([]int64, n), make([]int64, n)
+		ph.NextBlock(pb)
+		sh.NextBlock(sb)
+		for k := range pb {
+			if pb[k] != sb[k] {
+				t.Fatalf("block %d slot %d: plain %d, observed %d", i, k, pb[k], sb[k])
+			}
+		}
+		served += int64(n)
+	}
+	g := o.GroupSnapshot()
+	var passes, ops int64
+	for _, c := range g.Counters {
+		if c.Name == "passes" {
+			passes = c.Value
+		}
+	}
+	for _, h := range g.Hists {
+		if h.Name == "pass_served" {
+			ops = h.Hist.Sum
+		}
+	}
+	if passes != 200 {
+		t.Errorf("passes = %d, want 200 (one per request, single-threaded)", passes)
+	}
+	if ops != served {
+		t.Errorf("pass_served sum = %d, want %d (every value accounted)", ops, served)
+	}
+}
+
+// TestCounterObsOffAllocFree: with observability never enabled, the
+// per-value hot paths allocate nothing.
+func TestCounterObsOffAllocFree(t *testing.T) {
+	c := NewNetworkCounter(testNetwork(t), false)
+	h := c.Handle(0)
+	if n := testing.AllocsPerRun(200, func() { h.Next() }); n != 0 {
+		t.Errorf("obs-off handle Next allocates %v per run", n)
+	}
+	cc := NewCombiningCounter(testNetwork(t))
+	ch := cc.Handle(0).(*CombiningHandle)
+	if n := testing.AllocsPerRun(200, func() { ch.Next() }); n != 0 {
+		t.Errorf("obs-off combining Next allocates %v per run", n)
+	}
+}
+
+// TestCounterObsOnAllocFree: the instrumented paths allocate nothing
+// either — histograms and padded counters are fixed-size atomics.
+func TestCounterObsOnAllocFree(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewNetworkCounter(testNetwork(t), false)
+	c.EnableObs("alloc-ctr", reg)
+	h := c.Handle(0)
+	if n := testing.AllocsPerRun(200, func() { h.Next() }); n != 0 {
+		t.Errorf("obs-on handle Next allocates %v per run", n)
+	}
+	cc := NewCombiningCounter(testNetwork(t))
+	cc.EnableObs("alloc-cmb", reg)
+	ch := cc.Handle(0).(*CombiningHandle)
+	if n := testing.AllocsPerRun(200, func() { ch.Next() }); n != 0 {
+		t.Errorf("obs-on combining Next allocates %v per run", n)
+	}
+}
+
+// TestCounterObsConcurrent: the Fetch&Increment contract survives with
+// observability on, concurrent snapshots included, and the ops counter
+// accounts for every issued value. Doubles as the race-lane check.
+func TestCounterObsConcurrent(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewNetworkCounter(testNetwork(t), false)
+	o := c.EnableObs("conc-ctr", reg)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = reg.Snapshot()
+			}
+		}
+	}()
+
+	const workers, perWorker = 8, 400
+	vals := collectConcurrent(c, workers, perWorker)
+	close(stop)
+	<-done
+	assertExactRange(t, vals)
+	if got := o.Ops.Load(); got != workers*perWorker {
+		t.Errorf("ops = %d, want %d", got, workers*perWorker)
+	}
+	if n := o.NextNs.Snapshot().Count; n != workers*perWorker {
+		t.Errorf("next_ns samples = %d, want %d", n, workers*perWorker)
+	}
+}
+
+// TestCombiningCounterObsConcurrent: same for the combining counter;
+// pass_served must account for every value across all combine passes.
+func TestCombiningCounterObsConcurrent(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCombiningCounter(testNetwork(t))
+	o := c.EnableObs("conc-cmb", reg)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = reg.Snapshot()
+			}
+		}
+	}()
+
+	const workers, perWorker = 8, 400
+	vals := collectConcurrent(c, workers, perWorker)
+	close(stop)
+	<-done
+	assertExactRange(t, vals)
+	s := o.PassServed.Snapshot()
+	if s.Sum != workers*perWorker {
+		t.Errorf("pass_served sum = %d, want %d", s.Sum, workers*perWorker)
+	}
+	if passes := o.Passes.Load(); passes != s.Count {
+		t.Errorf("passes = %d but pass_served has %d samples", passes, s.Count)
+	}
+}
+
+// TestCounterEnableObsRegisters: EnableObs registers the group under
+// the given name (defaulting to the package registry when nil is
+// passed would pollute global state, so tests use a private one), and
+// re-enabling replaces rather than duplicates.
+func TestCounterEnableObsRegisters(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewNetworkCounter(testNetwork(t), false)
+	o1 := c.EnableObs("lane", reg)
+	o2 := c.EnableObs("lane", reg)
+	if o1 != o2 {
+		t.Fatal("EnableObs must be idempotent")
+	}
+	s := reg.Snapshot()
+	if len(s.Groups) != 1 || s.Groups[0].Name != "lane" {
+		t.Fatalf("registry groups: %+v", s.Groups)
+	}
+	if s.Groups[0].Kind != "counter" {
+		t.Fatalf("kind = %q, want counter", s.Groups[0].Kind)
+	}
+}

@@ -1,0 +1,97 @@
+package obs
+
+// Engine-specific observation state. Each engine (per-token counter,
+// flat-combining counter, pool) owns one of these structs, nil when
+// observation is off; the structs embed a NetObs for the underlying
+// network so one group snapshot carries an engine's whole story —
+// operation latency at the top, per-gate contention underneath.
+
+// CounterObs observes a per-token network counter (NetworkCounter):
+// operation count, Next latency, plus the underlying network's
+// per-gate traffic.
+type CounterObs struct {
+	Net    *NetObs
+	Ops    PaddedCount // values issued
+	NextNs *Hist       // end-to-end Next latency (dispatch + walk + local counter)
+}
+
+// NewCounterObs builds counter obs over the network obs (which must
+// not be nil; the counter owns its compiled network).
+func NewCounterObs(name string, net *NetObs) *CounterObs {
+	net.name = name
+	net.kind = "counter"
+	return &CounterObs{Net: net, NextNs: NewHist()}
+}
+
+// GroupSnapshot implements Source.
+func (o *CounterObs) GroupSnapshot() GroupSnapshot {
+	g := o.Net.GroupSnapshot()
+	g.Counters = append(g.Counters, Metric{Name: "ops", Value: o.Ops.Load()})
+	g.Hists = append([]HistMetric{{Name: "next_ns", Hist: o.NextNs.Snapshot()}}, g.Hists...)
+	return g
+}
+
+// CombineObs observes a flat-combining counter: combiner passes, the
+// spin retries of waiting handles (the front-end's contention signal),
+// per-pass service latency and batch shape, plus the underlying
+// network's per-gate traffic.
+type CombineObs struct {
+	Net         *NetObs
+	Passes      PaddedCount // combiner passes executed
+	SpinRetries PaddedCount // handle await loops that found the slot unserved
+	PassNs      *Hist       // latency of one combine pass
+	PassServed  *Hist       // values minted per pass
+	PassQueue   *Hist       // pending slots drained per pass (queue depth)
+}
+
+// NewCombineObs builds combining obs over the network obs.
+func NewCombineObs(name string, net *NetObs) *CombineObs {
+	net.name = name
+	net.kind = "combining"
+	return &CombineObs{
+		Net:        net,
+		PassNs:     NewHist(),
+		PassServed: NewHist(),
+		PassQueue:  NewHist(),
+	}
+}
+
+// GroupSnapshot implements Source.
+func (o *CombineObs) GroupSnapshot() GroupSnapshot {
+	g := o.Net.GroupSnapshot()
+	g.Counters = append(g.Counters,
+		Metric{Name: "passes", Value: o.Passes.Load()},
+		Metric{Name: "spin_retries", Value: o.SpinRetries.Load()},
+	)
+	g.Hists = append([]HistMetric{
+		{Name: "pass_ns", Hist: o.PassNs.Snapshot()},
+		{Name: "pass_served", Hist: o.PassServed.Snapshot()},
+		{Name: "pass_queue", Hist: o.PassQueue.Snapshot()},
+	}, g.Hists...)
+	return g
+}
+
+// PoolObs observes the producer/consumer pool: operation counts and
+// how often a Get had to block for its item.
+type PoolObs struct {
+	name     string
+	Puts     PaddedCount
+	Gets     PaddedCount
+	GetWaits PaddedCount // Gets that blocked before their item arrived
+}
+
+// NewPoolObs builds pool obs.
+func NewPoolObs(name string) *PoolObs { return &PoolObs{name: name} }
+
+// GroupSnapshot implements Source.
+func (o *PoolObs) GroupSnapshot() GroupSnapshot {
+	return GroupSnapshot{
+		Name: o.name,
+		Kind: "pool",
+		Counters: []Metric{
+			{Name: "puts", Value: o.Puts.Load()},
+			{Name: "gets", Value: o.Gets.Load()},
+			{Name: "get_waits", Value: o.GetWaits.Load()},
+		},
+	}
+}

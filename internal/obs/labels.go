@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Profiler attribution. Two granularities:
+//
+//   - Do wraps a whole measurement phase (a benchmark lane's worker
+//     loop) in pprof labels, so CPU profiles of countbench split
+//     samples by network and phase instead of one flat column;
+//   - Region marks one traversal phase (a combine pass, a batch
+//     propagation) as a runtime/trace region, visible in `go tool
+//     trace` when tracing is on and a no-op pointer otherwise.
+//
+// Neither allocates on the disabled path: Do is called once per
+// worker, not per operation, and trace.StartRegion returns a shared
+// no-op region when tracing is off.
+
+// LabelNetwork and LabelPhase are the pprof label keys used by Do.
+const (
+	LabelNetwork = "countnet_network"
+	LabelPhase   = "countnet_phase"
+)
+
+// Do runs f with pprof labels attributing its CPU samples to the
+// given network and phase.
+func Do(network, phase string, f func()) {
+	pprof.Do(context.Background(), pprof.Labels(LabelNetwork, network, LabelPhase, phase),
+		func(context.Context) { f() })
+}
+
+// Region starts a runtime/trace region for a traversal phase. Callers
+// must End the returned region. Cheap when tracing is disabled.
+func Region(phase string) *trace.Region {
+	return trace.StartRegion(context.Background(), phase)
+}

@@ -1,0 +1,118 @@
+package obs
+
+import "sync/atomic"
+
+// GateObs is one gate's hot counters, isolated on its own pair of
+// cache lines: when observation is on, every traversing token bumps
+// its path's gate counters, so adjacent gates' obs state must not
+// share lines any more than the gates' own balancer state does. The
+// two counters sit on separate 64-byte lines within the element
+// (contended is only written in lock mode, tokens in every mode).
+//
+//netvet:padalign 128
+type GateObs struct {
+	tokens    atomic.Int64 // tokens routed through the gate
+	_         [56]byte
+	contended atomic.Int64 // lock-mode acquisitions that found the gate busy
+	_         [56]byte
+}
+
+// NetObs holds the per-gate/per-layer counters and phase histograms of
+// one compiled network. Create with NewNetObs before the network sees
+// concurrent traffic; recording methods are safe for concurrent use
+// and allocation-free.
+type NetObs struct {
+	name      string
+	kind      string
+	gateLayer []int32 // gate -> 1-based layer
+	layers    int
+	gates     []GateObs
+
+	// TraverseNs is the per-token network walk latency (Traverse,
+	// TraverseMutex); BatchNs the whole-batch propagation latency
+	// (TraverseBatch); BatchTokens the token count per batch.
+	TraverseNs  *Hist
+	BatchNs     *Hist
+	BatchTokens *Hist
+}
+
+// NewNetObs builds obs state for a network whose gate i sits on
+// 1-based layer gateLayer[i].
+func NewNetObs(name string, gateLayer []int32) *NetObs {
+	layers := 0
+	for _, l := range gateLayer {
+		if int(l) > layers {
+			layers = int(l)
+		}
+	}
+	return &NetObs{
+		name:        name,
+		kind:        "network",
+		gateLayer:   append([]int32(nil), gateLayer...),
+		layers:      layers,
+		gates:       make([]GateObs, len(gateLayer)),
+		TraverseNs:  NewHist(),
+		BatchNs:     NewHist(),
+		BatchTokens: NewHist(),
+	}
+}
+
+// Name returns the group name given at construction.
+func (o *NetObs) Name() string { return o.name }
+
+// GateToken records one token routed through gate g.
+func (o *NetObs) GateToken(g int32) { o.gates[g].tokens.Add(1) }
+
+// GateTokens records n tokens routed through gate g in one batch.
+func (o *NetObs) GateTokens(g int, n int64) { o.gates[g].tokens.Add(n) }
+
+// GateContended records a lock-mode acquisition of gate g that found
+// the balancer already held.
+func (o *NetObs) GateContended(g int32) { o.gates[g].contended.Add(1) }
+
+// GroupSnapshot implements Source.
+func (o *NetObs) GroupSnapshot() GroupSnapshot {
+	g := GroupSnapshot{
+		Name: o.name,
+		Kind: o.kind,
+		Hists: []HistMetric{
+			{Name: "traverse_ns", Hist: o.TraverseNs.Snapshot()},
+			{Name: "batch_ns", Hist: o.BatchNs.Snapshot()},
+			{Name: "batch_tokens", Hist: o.BatchTokens.Snapshot()},
+		},
+	}
+	o.appendGateLayers(&g)
+	return g
+}
+
+// appendGateLayers fills the per-gate rows and the per-layer
+// aggregation of a group snapshot.
+func (o *NetObs) appendGateLayers(g *GroupSnapshot) {
+	if len(o.gates) == 0 {
+		return
+	}
+	layers := make([]LayerSnapshot, o.layers)
+	for i := range layers {
+		layers[i].Layer = i + 1
+	}
+	g.Gates = make([]GateSnapshot, len(o.gates))
+	for i := range o.gates {
+		gs := GateSnapshot{
+			Gate:      i,
+			Layer:     int(o.gateLayer[i]),
+			Tokens:    o.gates[i].tokens.Load(),
+			Contended: o.gates[i].contended.Load(),
+		}
+		g.Gates[i] = gs
+		if gs.Layer >= 1 && gs.Layer <= len(layers) {
+			l := &layers[gs.Layer-1]
+			l.Gates++
+			l.Tokens += gs.Tokens
+			l.Contended += gs.Contended
+			if gs.Tokens > l.MaxGateTokens {
+				l.MaxGateTokens = gs.Tokens
+			}
+		}
+	}
+	g.Layers = layers
+}

@@ -25,6 +25,7 @@ import (
 
 	"countnet/internal/counter"
 	"countnet/internal/network"
+	"countnet/internal/obs"
 )
 
 // Pool is an unordered concurrent collection: items Put concurrently
@@ -35,6 +36,10 @@ type Pool[T any] struct {
 	put   *counter.NetworkCounter
 	get   *counter.NetworkCounter
 	bufs  []buffer[T]
+
+	// watch is the observability hook, nil unless EnableObs was
+	// called; Put/Get pay one nil-check each when disabled.
+	watch *obs.PoolObs
 }
 
 type buffer[T any] struct {
@@ -63,6 +68,24 @@ func New[T any](net *network.Network) *Pool[T] {
 		p.bufs[i].cv = sync.NewCond(&p.bufs[i].mu)
 	}
 	return p
+}
+
+// EnableObs attaches observability under the given group name and
+// registers it with r (obs.Default when nil): one "<name>" pool group
+// (puts, gets, get waits) plus "<name>.put" / "<name>.get" counter
+// groups exposing the two underlying networks gate by gate.
+// Idempotent; call before the pool sees concurrent traffic.
+func (p *Pool[T]) EnableObs(name string, r *obs.Registry) *obs.PoolObs {
+	if p.watch == nil {
+		p.watch = obs.NewPoolObs(name)
+	}
+	if r == nil {
+		r = obs.Default
+	}
+	r.Register(name, p.watch)
+	p.put.EnableObs(name+".put", r)
+	p.get.EnableObs(name+".get", r)
+	return p.watch
 }
 
 // Handle returns a goroutine-local view with private entry cursors for
@@ -103,6 +126,9 @@ func (p *Pool[T]) Put(item T) { p.putAt(p.put.Next(), item) }
 func (p *Pool[T]) Get() T { return p.getAt(p.get.Next()) }
 
 func (p *Pool[T]) putAt(v int64, item T) {
+	if o := p.watch; o != nil {
+		o.Puts.Inc()
+	}
 	b := &p.bufs[v%int64(p.width)]
 	b.mu.Lock()
 	b.items = append(b.items, item)
@@ -111,10 +137,17 @@ func (p *Pool[T]) putAt(v int64, item T) {
 }
 
 func (p *Pool[T]) getAt(v int64) T {
+	o := p.watch
+	if o != nil {
+		o.Gets.Inc()
+	}
 	b := &p.bufs[v%int64(p.width)]
 	rank := int(v / int64(p.width)) // this consumer takes the rank-th item of the buffer
 	b.mu.Lock()
 	for len(b.items) <= rank {
+		if o != nil {
+			o.GetWaits.Inc() // counts each park, so futile wakeups show
+		}
 		b.cv.Wait()
 	}
 	item := b.items[rank]

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"countnet/internal/network"
+	"countnet/internal/obs"
 )
 
 // Async is a compiled form of a balancing network for real concurrent
@@ -27,11 +28,20 @@ import (
 // balancers behave under contention (the regime studied by the
 // shared-memory counting network literature the paper cites).
 type Async struct {
-	width  int
-	entry  []int32 // first gate per wire, -1 if none
-	hot    []asyncHot
-	gates  []asyncGate
-	outPos []int32 // wire -> position in the output order
+	width     int
+	entry     []int32 // first gate per wire, -1 if none
+	hot       []asyncHot
+	gates     []asyncGate
+	outPos    []int32 // wire -> position in the output order
+	gateLayer []int32 // gate -> 1-based layer, for observability
+
+	// watch is the observability hook, nil unless EnableObs was
+	// called. Every hot entry point pays exactly one nil-check for it;
+	// the instrumented bodies live in separate functions so the
+	// disabled path's code is byte-for-byte the uninstrumented loop
+	// (pinned by the obs-off differential and alloc tests and the
+	// BenchmarkObsOverhead guard lane).
+	watch *obs.NetObs
 }
 
 // asyncHot is a gate's contended state, isolated from everything else:
@@ -68,11 +78,15 @@ type asyncGate struct {
 func Compile(net *network.Network) *Async {
 	w := net.Width()
 	a := &Async{
-		width:  w,
-		entry:  make([]int32, w),
-		hot:    make([]asyncHot, net.Size()),
-		gates:  make([]asyncGate, net.Size()),
-		outPos: make([]int32, w),
+		width:     w,
+		entry:     make([]int32, w),
+		hot:       make([]asyncHot, net.Size()),
+		gates:     make([]asyncGate, net.Size()),
+		outPos:    make([]int32, w),
+		gateLayer: make([]int32, net.Size()),
+	}
+	for gi := range net.Gates {
+		a.gateLayer[gi] = int32(net.Gates[gi].Layer)
 	}
 	wireGates := net.WireGates()
 	for wire := 0; wire < w; wire++ {
@@ -117,10 +131,29 @@ func Compile(net *network.Network) *Async {
 // Width returns the network width.
 func (a *Async) Width() int { return a.width }
 
+// EnableObs attaches observability state under the given group name
+// and returns it; subsequent calls return the existing state. Call
+// before the network sees concurrent traffic — the hook is installed
+// with a plain store. When enabled, traversals record per-gate token
+// counts and latency histograms; when never called, every hot path
+// pays one nil-check only.
+func (a *Async) EnableObs(name string) *obs.NetObs {
+	if a.watch == nil {
+		a.watch = obs.NewNetObs(name, a.gateLayer)
+	}
+	return a.watch
+}
+
+// Obs returns the observability state, nil when disabled.
+func (a *Async) Obs() *obs.NetObs { return a.watch }
+
 // Traverse pushes one token into the network on the given entry wire
 // using atomic fetch-and-add balancers, and returns the output-order
 // position on which the token exits. Safe for concurrent use.
 func (a *Async) Traverse(entryWire int) int {
+	if o := a.watch; o != nil {
+		return a.traverseObs(entryWire, o)
+	}
 	if entryWire < 0 || entryWire >= a.width {
 		panic(fmt.Sprintf("runner: entry wire %d outside width %d", entryWire, a.width))
 	}
@@ -133,6 +166,28 @@ func (a *Async) Traverse(entryWire int) int {
 		wire = g.wires[port]
 		gid = g.next[port]
 	}
+	return int(a.outPos[wire])
+}
+
+// traverseObs is Traverse with observability recording: identical
+// routing (same balancer accesses in the same order), plus a per-gate
+// token count and a latency sample.
+func (a *Async) traverseObs(entryWire int, o *obs.NetObs) int {
+	if entryWire < 0 || entryWire >= a.width {
+		panic(fmt.Sprintf("runner: entry wire %d outside width %d", entryWire, a.width))
+	}
+	start := obs.Now()
+	wire := int32(entryWire)
+	gid := a.entry[wire]
+	for gid >= 0 {
+		g := &a.gates[gid]
+		o.GateToken(gid)
+		i := a.hot[gid].count.Add(1) - 1
+		port := i % g.width
+		wire = g.wires[port]
+		gid = g.next[port]
+	}
+	o.TraverseNs.ObserveSince(start)
 	return int(a.outPos[wire])
 }
 
@@ -146,11 +201,17 @@ func (a *Async) TraverseHooked(entryWire int, yield func(op string)) int {
 	if entryWire < 0 || entryWire >= a.width {
 		panic(fmt.Sprintf("runner: entry wire %d outside width %d", entryWire, a.width))
 	}
+	o := a.watch
 	wire := int32(entryWire)
 	gid := a.entry[wire]
 	for gid >= 0 {
 		g := &a.gates[gid]
 		yield(fmt.Sprintf("gate %d", gid))
+		if o != nil {
+			// Counting only — no clock reads, so an observed
+			// controlled run stays deterministic under replay.
+			o.GateToken(gid)
+		}
 		i := a.hot[gid].count.Add(1) - 1
 		port := i % g.width
 		wire = g.wires[port]
@@ -162,6 +223,9 @@ func (a *Async) TraverseHooked(entryWire int, yield func(op string)) int {
 // TraverseMutex is Traverse with lock-based balancers. The two modes
 // share no state; do not mix them on one Async instance within a run.
 func (a *Async) TraverseMutex(entryWire int) int {
+	if o := a.watch; o != nil {
+		return a.traverseMutexObs(entryWire, o)
+	}
 	if entryWire < 0 || entryWire >= a.width {
 		panic(fmt.Sprintf("runner: entry wire %d outside width %d", entryWire, a.width))
 	}
@@ -178,6 +242,36 @@ func (a *Async) TraverseMutex(entryWire int) int {
 		wire = g.wires[port]
 		gid = g.next[port]
 	}
+	return int(a.outPos[wire])
+}
+
+// traverseMutexObs is TraverseMutex with observability recording. In
+// lock mode contention is directly measurable: a TryLock that fails
+// means the token found the balancer held, counted per gate before
+// falling back to the blocking Lock.
+func (a *Async) traverseMutexObs(entryWire int, o *obs.NetObs) int {
+	if entryWire < 0 || entryWire >= a.width {
+		panic(fmt.Sprintf("runner: entry wire %d outside width %d", entryWire, a.width))
+	}
+	start := obs.Now()
+	wire := int32(entryWire)
+	gid := a.entry[wire]
+	for gid >= 0 {
+		g := &a.gates[gid]
+		h := &a.hot[gid]
+		o.GateToken(gid)
+		if !h.mu.TryLock() {
+			o.GateContended(gid)
+			h.mu.Lock()
+		}
+		i := h.seq
+		h.seq++
+		h.mu.Unlock()
+		port := i % g.width
+		wire = g.wires[port]
+		gid = g.next[port]
+	}
+	o.TraverseNs.ObserveSince(start)
 	return int(a.outPos[wire])
 }
 

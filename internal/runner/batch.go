@@ -1,6 +1,10 @@
 package runner
 
-import "fmt"
+import (
+	"fmt"
+
+	"countnet/internal/obs"
+)
 
 // Batched token propagation.
 //
@@ -56,7 +60,20 @@ func (a *Async) TraverseBatchInto(dst, entryCounts []int64, s *BatchScratch) []i
 	}
 	a.batchArgs(dst, entryCounts)
 	copy(s.cur, entryCounts)
-	a.propagate(s.cur, nil)
+	if o := a.watch; o != nil {
+		var total int64
+		for _, t := range entryCounts {
+			total += t
+		}
+		start := obs.Now()
+		r := obs.Region("countnet.batch")
+		a.propagate(s.cur, nil, o)
+		r.End()
+		o.BatchNs.ObserveSince(start)
+		o.BatchTokens.Observe(total)
+	} else {
+		a.propagate(s.cur, nil, nil)
+	}
 	for wire, pos := range a.outPos {
 		dst[pos] = s.cur[wire]
 	}
@@ -75,7 +92,8 @@ func (a *Async) TraverseBatchHooked(entryCounts []int64, yield func(op string)) 
 	a.batchArgs(dst, entryCounts)
 	cur := make([]int64, a.width)
 	copy(cur, entryCounts)
-	a.propagate(cur, yield)
+	// Counting only under controlled scheduling (see TraverseHooked).
+	a.propagate(cur, yield, a.watch)
 	for wire, pos := range a.outPos {
 		dst[pos] = cur[wire]
 	}
@@ -99,8 +117,9 @@ func (a *Async) batchArgs(dst, entryCounts []int64) {
 // propagate advances cur (tokens per wire) across every gate in
 // topological order. Gate order mirrors ApplyTokens: once a gate is
 // processed, every token later placed on its wires can only meet later
-// gates, so a single in-order pass moves the whole batch.
-func (a *Async) propagate(cur []int64, yield func(op string)) {
+// gates, so a single in-order pass moves the whole batch. A non-nil o
+// records per-gate token counts (the batch analogue of traverseObs).
+func (a *Async) propagate(cur []int64, yield func(op string), o *obs.NetObs) {
 	for gi := range a.gates {
 		g := &a.gates[gi]
 		var t int64
@@ -112,6 +131,9 @@ func (a *Async) propagate(cur []int64, yield func(op string)) {
 		}
 		if yield != nil {
 			yield(fmt.Sprintf("gate %d", gi))
+		}
+		if o != nil {
+			o.GateTokens(gi, t)
 		}
 		p := g.width
 		// Reserve arrival indices i0..i0+t-1 in one fetch-and-add.

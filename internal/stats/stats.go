@@ -17,7 +17,10 @@ type Summary struct {
 	Stddev float64 // sample standard deviation (n-1)
 	Min    float64
 	Max    float64
-	Median float64
+	Median float64 // == P50, kept for existing callers
+	P50    float64
+	P90    float64
+	P99    float64
 }
 
 // Summarize computes a Summary. An empty sample yields the zero
@@ -46,7 +49,13 @@ func Summarize(xs []float64) Summary {
 		}
 		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
 	}
-	s.Median = Percentile(xs, 50)
+	// One sort serves every quantile.
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = percentileSorted(sorted, 50)
+	s.P90 = percentileSorted(sorted, 90)
+	s.P99 = percentileSorted(sorted, 99)
+	s.Median = s.P50
 	return s
 }
 
@@ -62,6 +71,12 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted is Percentile over an already-sorted non-empty
+// sample (linear interpolation between closest ranks).
+func percentileSorted(sorted []float64, p float64) float64 {
 	if len(sorted) == 1 {
 		return sorted[0]
 	}

@@ -39,6 +39,49 @@ func TestSummarizeEdgeCases(t *testing.T) {
 	}
 }
 
+func TestSummarizeQuantiles(t *testing.T) {
+	// 1..100: with linear interpolation over n-1 ranks,
+	// Pq = 1 + q/100*99.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	s := Summarize(xs)
+	if !approx(s.P50, 50.5) || !approx(s.P90, 90.1) || !approx(s.P99, 99.01) {
+		t.Errorf("quantiles: P50=%v P90=%v P99=%v", s.P50, s.P90, s.P99)
+	}
+	if s.Median != s.P50 {
+		t.Errorf("Median (%v) != P50 (%v)", s.Median, s.P50)
+	}
+}
+
+func TestSummarizeQuantilesSingleton(t *testing.T) {
+	// n=1: every quantile is the sole sample.
+	s := Summarize([]float64{7})
+	if s.P50 != 7 || s.P90 != 7 || s.P99 != 7 {
+		t.Errorf("singleton quantiles: %+v", s)
+	}
+}
+
+func TestSummarizeQuantilesTies(t *testing.T) {
+	// All ties: quantiles collapse onto the tied value.
+	s := Summarize([]float64{5, 5, 5, 5})
+	if s.P50 != 5 || s.P90 != 5 || s.P99 != 5 {
+		t.Errorf("tied quantiles: %+v", s)
+	}
+	// Partial ties: the high quantiles sit inside the tied run.
+	p := Summarize([]float64{1, 9, 9, 9})
+	if !approx(p.P50, 9) || !approx(p.P90, 9) || !approx(p.P99, 9) {
+		t.Errorf("partial-tie quantiles: %+v", p)
+	}
+	// Unsorted input must yield the same quantiles as sorted input.
+	a := Summarize([]float64{4, 1, 3, 2})
+	b := Summarize([]float64{1, 2, 3, 4})
+	if a.P50 != b.P50 || a.P90 != b.P90 || a.P99 != b.P99 {
+		t.Errorf("order dependence: %+v vs %+v", a, b)
+	}
+}
+
 func TestPercentile(t *testing.T) {
 	xs := []float64{1, 2, 3, 4, 5}
 	cases := []struct {
@@ -115,6 +158,9 @@ func TestQuickProperties(t *testing.T) {
 			return false
 		}
 		if s.Median < s.Min-1e-9 || s.Median > s.Max+1e-9 {
+			return false
+		}
+		if s.P50 > s.P90+1e-9 || s.P90 > s.P99+1e-9 || s.P99 > s.Max+1e-9 {
 			return false
 		}
 		return s.Stddev >= 0

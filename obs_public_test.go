@@ -1,0 +1,90 @@
+package countnet
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWithObservability: observed facade counters register in the
+// default registry and the package-level accessors expose their
+// metrics; unobserved counters behave identically and register
+// nothing.
+func TestWithObservability(t *testing.T) {
+	n, err := NewL(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := NewCounter(n)
+	ctr := NewCounter(n, WithObservability("public-ctr"))
+	cmb := NewCombiningCounter(n, WithObservability("public-cmb"))
+	for i := 0; i < 20; i++ {
+		if p, s := plain.Next(), ctr.Next(); p != s {
+			t.Fatalf("op %d: plain %d, observed %d", i, p, s)
+		}
+		cmb.Next()
+	}
+
+	raw, err := ObsSnapshotJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Groups []struct {
+			Name string `json:"name"`
+			Kind string `json:"kind"`
+		} `json:"groups"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("snapshot not JSON: %v", err)
+	}
+	kinds := map[string]string{}
+	for _, g := range snap.Groups {
+		kinds[g.Name] = g.Kind
+	}
+	if kinds["public-ctr"] != "counter" || kinds["public-cmb"] != "combining" {
+		t.Fatalf("registered groups: %v", kinds)
+	}
+
+	var b strings.Builder
+	if err := WriteObsPrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `countnet_counter_total{group="public-ctr",kind="counter",name="ops"} 20`) {
+		t.Errorf("prometheus output missing observed ops:\n%s", b.String())
+	}
+
+	rec := httptest.NewRecorder()
+	ObsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "public-cmb") {
+		t.Errorf("handler /metrics: status %d", rec.Code)
+	}
+}
+
+// TestPoolWithObservability: the pool option registers the pool group
+// plus both underlying networks.
+func TestPoolWithObservability(t *testing.T) {
+	n, err := NewL(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool[int](n, WithObservability("public-pool"))
+	h := p.Handle(0)
+	for i := 0; i < 8; i++ {
+		h.Put(i)
+	}
+	for i := 0; i < 8; i++ {
+		h.Get()
+	}
+	raw, err := ObsSnapshotJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(raw)
+	for _, want := range []string{`"public-pool"`, `"public-pool.put"`, `"public-pool.get"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("snapshot missing group %s", want)
+		}
+	}
+}

@@ -12,9 +12,15 @@ type Pool[T any] struct {
 }
 
 // NewPool builds a Pool over the given counting network; the network's
-// width sets the number of buffer slots.
-func NewPool[T any](n *Network) *Pool[T] {
-	return &Pool[T]{inner: pool.New[T](n.inner)}
+// width sets the number of buffer slots. Pass WithObservability to
+// record put/get counts and the underlying networks' balancer metrics
+// (as "<name>", "<name>.put" and "<name>.get" groups).
+func NewPool[T any](n *Network, opts ...Option) *Pool[T] {
+	p := pool.New[T](n.inner)
+	if o := buildOptions(opts); o.obsName != "" {
+		p.EnableObs(o.obsName, nil)
+	}
+	return &Pool[T]{inner: p}
 }
 
 // Put inserts an item (shared dispatcher; use a Handle in tight loops).
