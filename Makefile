@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench bench-plan bench-counter bench-obs bench-smoke obs-smoke fuzz soak vet fmt lint netvet experiments examples clean
+.PHONY: all build test race short bench bench-plan bench-counter bench-obs bench-scenarios bench-smoke obs-smoke scenario-smoke fuzz soak vet fmt lint netvet experiments examples clean
 
 all: build vet test
 
@@ -99,6 +99,34 @@ obs-smoke:
 	./bin/netmon -addr 127.0.0.1:8720 -once -validate -timeout 10s; RC=$$?; \
 	kill -INT $$CB 2>/dev/null; wait $$CB 2>/dev/null; \
 	exit $$RC
+
+# Multi-process traffic harness (docs/TESTING.md, "Layer 6"). Both
+# targets launch real countbench -worker OS processes coordinated
+# through the counting-network-backed sync server, and fail unless the
+# cross-process step-property/gap oracle passes.
+#
+# scenario-smoke is the CI gate: 2 workers, 3 barrier-synced phases
+# (burst scenario), merged through benchjson. bench-scenarios is the
+# full 6-scenario fault-injection sweep that refreshes the committed
+# BENCH_scenarios.json "current" set.
+scenario-smoke:
+	$(GO) build -o bin/countbench ./cmd/countbench
+	$(GO) build -o bin/scenarios ./cmd/scenarios
+	rm -rf /tmp/scenario_smoke && mkdir -p /tmp/scenario_smoke
+	./bin/scenarios -scenario burst -workers 2 -duration 100ms \
+		-bin bin/countbench -out /tmp/scenario_smoke
+	$(GO) run ./cmd/benchjson -out /tmp/scenario_smoke/BENCH_scenarios.json \
+		-set smoke /tmp/scenario_smoke/worker-*.json
+
+bench-scenarios:
+	$(GO) build -o bin/countbench ./cmd/countbench
+	$(GO) build -o bin/scenarios ./cmd/scenarios
+	rm -rf /tmp/scenario_bench && mkdir -p /tmp/scenario_bench
+	./bin/scenarios -scenario all -workers 3 -duration 100ms \
+		-bin bin/countbench -out /tmp/scenario_bench
+	$(GO) run ./cmd/benchjson -out BENCH_scenarios.json -set current \
+		-note "6 scenarios, 3 workers (real processes), width 8, 100ms phases, seed 1; oracle passed" \
+		/tmp/scenario_bench/worker-*.json
 
 # Continuous fuzzing entry points (each runs until interrupted).
 fuzz:

@@ -11,6 +11,13 @@
 // Each result records name (GOMAXPROCS suffix stripped), ns/op, B/op,
 // allocs/op, and any extra metrics (e.g. ns/batch) the benchmark
 // reported.
+//
+// With positional arguments, benchjson instead merges multi-process
+// harness worker record files (written by `scenarios -out`) into one
+// result set — per-(phase,worker) rows plus per-phase aggregates, in
+// deterministic order:
+//
+//	benchjson -out BENCH_scenarios.json -set current /tmp/scen/worker-*.json
 package main
 
 import (
@@ -53,10 +60,24 @@ func main() {
 	)
 	flag.Parse()
 
-	results, err := parse(bufio.NewScanner(os.Stdin))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	var results []Result
+	var err error
+	if files := flag.Args(); len(files) > 0 {
+		if *overhead {
+			fmt.Fprintln(os.Stderr, "benchjson: -overhead does not apply to worker-file merges")
+			os.Exit(1)
+		}
+		results, err = mergeWorkerFiles(files)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	} else {
+		results, err = parse(bufio.NewScanner(os.Stdin))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
 	if len(results) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")

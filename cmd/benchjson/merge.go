@@ -1,0 +1,27 @@
+package main
+
+import (
+	"countnet/internal/harness"
+)
+
+// mergeWorkerFiles converts the harness's per-worker record files into
+// benchmark results: one result per (phase, worker) plus a "/all"
+// aggregate per phase, deterministically ordered by name (the harness
+// zero-pads phase indices so lexicographic order is run order). The
+// multi-process collector path: `scenarios` writes the files, this
+// merges them into the BENCH_scenarios.json lane.
+func mergeWorkerFiles(paths []string) ([]Result, error) {
+	rows, err := harness.MergeFiles(paths)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, 0, len(rows))
+	for _, row := range rows {
+		results = append(results, Result{
+			Name:    row.Name,
+			NsPerOp: row.NsPerOp,
+			Extra:   row.Extra,
+		})
+	}
+	return results, nil
+}

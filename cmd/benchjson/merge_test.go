@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden merged table")
+
+// TestMergeWorkerFilesGolden pins the merge of the fixture worker
+// files byte-for-byte: per-(phase,worker) rows plus per-phase "/all"
+// aggregates, deterministically ordered by name. Regenerate with
+// `go test ./cmd/benchjson -run Golden -update` after a deliberate
+// format change.
+func TestMergeWorkerFilesGolden(t *testing.T) {
+	paths := fixturePaths(t)
+	results, err := mergeWorkerFiles(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+
+	golden := filepath.Join("testdata", "merged.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if string(data) != string(want) {
+		t.Fatalf("merged table drifted from %s:\n--- got ---\n%s--- want ---\n%s", golden, data, want)
+	}
+}
+
+// TestMergeWorkerFilesOrderIndependent: shuffling the argument order
+// must not change the merged table — the property that lets
+// `benchjson worker-*.json` rely on shell glob order being irrelevant.
+func TestMergeWorkerFilesOrderIndependent(t *testing.T) {
+	paths := fixturePaths(t)
+	a, err := mergeWorkerFiles(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mergeWorkerFiles([]string{paths[1], paths[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].NsPerOp != b[i].NsPerOp {
+			t.Fatalf("row %d differs across input orders: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestMergeWorkerFilesErrors: unreadable and duplicate inputs are
+// refused loudly.
+func TestMergeWorkerFilesErrors(t *testing.T) {
+	if _, err := mergeWorkerFiles([]string{filepath.Join("testdata", "absent.json")}); err == nil {
+		t.Fatal("absent file merged")
+	}
+	paths := fixturePaths(t)
+	if _, err := mergeWorkerFiles([]string{paths[0], paths[0]}); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate input: err = %v", err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mergeWorkerFiles([]string{bad}); err == nil {
+		t.Fatal("malformed file merged")
+	}
+}
+
+func fixturePaths(t *testing.T) []string {
+	t.Helper()
+	paths := []string{
+		filepath.Join("testdata", "worker-demo-w0.json"),
+		filepath.Join("testdata", "worker-demo-w1.json"),
+	}
+	for _, p := range paths {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return paths
+}

@@ -21,11 +21,18 @@
 // measurement window is interrupted, remaining cells are skipped, the
 // observability snapshot (when -obs) is flushed, and the -http
 // endpoint is drained before exit.
+//
+// With -worker the binary instead becomes a node of the multi-process
+// traffic harness: it registers with the sync server given by -sync,
+// then executes phase commands from stdin and reports records on
+// stdout (the line protocol of internal/harness; docs/TESTING.md,
+// "Layer 6"):
+//
+//	countbench -worker -sync http://127.0.0.1:8123 -id w0
 package main
 
 import (
 	"context"
-	"flag"
 	"fmt"
 	"math/rand"
 	"os"
@@ -39,6 +46,7 @@ import (
 	"countnet/internal/core"
 	"countnet/internal/counter"
 	"countnet/internal/factor"
+	"countnet/internal/harness"
 	"countnet/internal/network"
 	"countnet/internal/obs"
 	"countnet/internal/runner"
@@ -46,67 +54,41 @@ import (
 )
 
 func main() {
-	var (
-		width      = flag.Int("width", 16, "counting network width (all factorizations are swept)")
-		duration   = flag.Duration("duration", 100*time.Millisecond, "measurement window per cell")
-		goroutines = flag.String("goroutines", "", "comma-separated goroutine counts (default: 1,2,4,... to 2x GOMAXPROCS)")
-		counters   = flag.String("counter", "atomic,mutex,network,combining", "comma-separated counter engines: atomic, mutex, network, network-mutex, combining")
-		block      = flag.Int("block", 1, "values drawn per operation (NextBlock when > 1); throughput counts values/sec")
-		repeat     = flag.Int("repeat", 3, "measurements per cell; cells report mean and relative stddev")
-		engine     = flag.String("engine", "plan", "batch-sort engine: gates (gate-list walker), plan (compiled plan), or parallel (layer-parallel plan)")
-		sortBatch  = flag.Int("sortbatches", 4096, "batches per batch-sort measurement")
-		obsOn      = flag.Bool("obs", false, "record observability metrics for network counters and print the table at exit (docs/OBSERVABILITY.md)")
-		httpAddr   = flag.String("http", "", "serve observability endpoints (/snapshot, /metrics, /debug/vars) on this address; implies -obs")
-		linger     = flag.Bool("linger", false, "with -http: keep serving after the sweep until interrupted")
-	)
-	flag.Parse()
-	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stopSignals()
-	if *httpAddr != "" {
-		*obsOn = true
-	}
-	if *repeat < 1 {
-		*repeat = 1
-	}
-	switch *engine {
-	case "gates", "plan", "parallel":
-	default:
-		fmt.Fprintf(os.Stderr, "countbench: unknown engine %q (want gates, plan or parallel)\n", *engine)
+	cfg, err := parseConfig(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if *block < 1 {
-		*block = 1
-	}
-	want := map[string]bool{}
-	for _, part := range strings.Split(*counters, ",") {
-		name := strings.TrimSpace(part)
-		switch name {
-		case "atomic", "mutex", "network", "network-mutex", "combining":
-			want[name] = true
-		case "":
-		default:
-			fmt.Fprintf(os.Stderr, "countbench: unknown counter %q (want atomic, mutex, network, network-mutex or combining)\n", name)
-			os.Exit(2)
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	if cfg.Worker {
+		// Harness worker mode: the signal context doubles as the kill
+		// switch, so an interrupted run tears workers down the same
+		// way the measurement sweep shuts down.
+		if err := harness.RunWorker(ctx, os.Stdin, os.Stdout, harness.WorkerOptions{
+			ID:      cfg.WorkerID,
+			SyncURL: cfg.SyncURL,
+		}); err != nil && ctx.Err() == nil {
+			fmt.Fprintln(os.Stderr, "countbench:", err)
+			os.Exit(1)
 		}
+		return
 	}
 
-	steps := bench.DefaultGoroutineSteps()
-	if *goroutines != "" {
-		steps = steps[:0]
-		for _, part := range strings.Split(*goroutines, ",") {
-			v, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || v < 1 {
-				fmt.Fprintf(os.Stderr, "countbench: bad goroutine count %q\n", part)
-				os.Exit(2)
-			}
-			steps = append(steps, v)
-		}
+	width, duration, repeat, block := cfg.Width, cfg.Duration, cfg.Repeat, cfg.Block
+	sortBatch, linger := cfg.SortBatch, cfg.Linger
+	want := cfg.Counters
+
+	steps := cfg.Goroutines
+	if steps == nil {
+		steps = bench.DefaultGoroutineSteps()
 	}
 
 	var srv *obs.Server
-	if *httpAddr != "" {
+	if cfg.HTTPAddr != "" {
 		var err error
-		srv, err = obs.Default.StartServer(*httpAddr)
+		srv, err = obs.Default.StartServer(cfg.HTTPAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "countbench:", err)
 			os.Exit(1)
@@ -116,7 +98,7 @@ func main() {
 
 	tbl := &bench.Table{
 		ID:    "countbench",
-		Title: fmt.Sprintf("Fetch&Increment throughput, width %d, block %d (values/sec)", *width, *block),
+		Title: fmt.Sprintf("Fetch&Increment throughput, width %d, block %d (values/sec)", width, block),
 	}
 	tbl.Header = []string{"counter"}
 	for _, g := range steps {
@@ -133,21 +115,21 @@ func main() {
 		row := []interface{}{name}
 		for _, g := range steps {
 			phase := fmt.Sprintf("g=%d", g)
-			s := stats.Repeat(*repeat, func() float64 {
+			s := stats.Repeat(repeat, func() float64 {
 				if ctx.Err() != nil {
 					return 0
 				}
 				var rate float64
 				obs.Do(name, phase, func() {
 					rate = bench.MeasureCounter(mk(), bench.ThroughputOptions{
-						Goroutines: g, Duration: *duration, Block: *block,
+						Goroutines: g, Duration: duration, Block: block,
 						Interrupt: ctx.Done(),
 					})
 				})
 				return rate
 			})
 			cell := fmt.Sprintf("%.2fM", s.Mean/1e6)
-			if *repeat > 1 {
+			if repeat > 1 {
 				cell += fmt.Sprintf("±%.0f%%", 100*s.RelStddev())
 			}
 			row = append(row, cell)
@@ -161,7 +143,7 @@ func main() {
 	if want["mutex"] {
 		measure("mutex", func() counter.Counter { return counter.NewMutexCounter() })
 	}
-	for _, fs := range factor.Factorizations(*width, 2) {
+	for _, fs := range factor.Factorizations(width, 2) {
 		fs := fs
 		net, err := core.L(fs...)
 		if err != nil {
@@ -173,7 +155,7 @@ func main() {
 		if want["network"] {
 			measure(name, func() counter.Counter {
 				c := counter.NewNetworkCounter(net, false)
-				if *obsOn {
+				if cfg.Obs {
 					c.EnableObs(base, nil)
 				}
 				return c
@@ -182,7 +164,7 @@ func main() {
 		if want["network-mutex"] {
 			measure(name+" (mutex)", func() counter.Counter {
 				c := counter.NewNetworkCounter(net, true)
-				if *obsOn {
+				if cfg.Obs {
 					c.EnableObs(base+".mutex", nil)
 				}
 				return c
@@ -191,7 +173,7 @@ func main() {
 		if want["combining"] {
 			measure(name+" (combining)", func() counter.Counter {
 				c := counter.NewCombiningCounter(net)
-				if *obsOn {
+				if cfg.Obs {
 					c.EnableObs(base+".combining", nil)
 				}
 				return c
@@ -204,29 +186,29 @@ func main() {
 	if ctx.Err() == nil {
 		sortTbl := &bench.Table{
 			ID:     "countbench-sort",
-			Title:  fmt.Sprintf("batch-sort throughput, width %d, engine %s (%d batches)", *width, *engine, *sortBatch),
+			Title:  fmt.Sprintf("batch-sort throughput, width %d, engine %s (%d batches)", width, cfg.Engine, sortBatch),
 			Header: []string{"network", "depth", "gates", "ns/batch"},
 		}
-		for _, fs := range factor.Factorizations(*width, 2) {
+		for _, fs := range factor.Factorizations(width, 2) {
 			net, err := core.L(fs...)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "countbench:", err)
 				os.Exit(1)
 			}
-			ns := measureSort(net, *engine, *sortBatch)
+			ns := measureSort(net, cfg.Engine, sortBatch)
 			sortTbl.AddRow(fmt.Sprintf("L[%s]", join(fs)), net.Depth(), net.Size(), fmt.Sprint(ns))
 		}
 		sortTbl.Fprint(os.Stdout)
 	}
 
-	if *linger && srv != nil && ctx.Err() == nil {
+	if linger && srv != nil && ctx.Err() == nil {
 		fmt.Fprintf(os.Stderr, "countbench: sweep done; still serving on http://%s/ — interrupt to exit\n", srv.Addr())
 		<-ctx.Done()
 	}
 
 	// Flush the final observability snapshot before the endpoint goes
 	// away, so interrupted soak runs still leave their metrics behind.
-	if *obsOn {
+	if cfg.Obs {
 		fmt.Println()
 		fmt.Print(obs.RenderTable(nil, obs.Default.Snapshot(), 0))
 	}

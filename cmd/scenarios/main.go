@@ -1,0 +1,160 @@
+// Command scenarios drives the multi-process traffic harness: it
+// launches N worker processes (`countbench -worker`), coordinates
+// their phases through a counting-network-backed sync server, injects
+// the scenario's faults (bursts, skew, join/leave, stragglers, kills),
+// verifies the cross-process step-property/gap oracle, and leaves
+// per-worker record files for the benchjson collector.
+//
+// Usage:
+//
+//	scenarios -list
+//	scenarios -scenario burst -workers 2 -bin bin/countbench -out /tmp/scen
+//	scenarios -scenario all -workers 4 -duration 500ms -out /tmp/scen
+//
+// Every run prints its seed; re-running with the same -scenario,
+// -workers, -width and -seed reproduces the same plan (which worker
+// straggles, who gets killed, how skew is dealt). See docs/TESTING.md,
+// "Layer 6: multi-process scenarios".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"countnet/internal/bench"
+	"countnet/internal/harness"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list scenarios and exit")
+		scenario = flag.String("scenario", "burst", "scenario name, or 'all' for the full sweep")
+		workers  = flag.Int("workers", 2, "worker processes at run start")
+		width    = flag.Int("width", 8, "sync server counting-network width (composite, >= 4)")
+		duration = flag.Duration("duration", 300*time.Millisecond, "draw-loop length per phase")
+		block    = flag.Int("block", 4, "values leased per draw call")
+		seed     = flag.Int64("seed", 1, "plan seed (printed and recorded for reproduction)")
+		bin      = flag.String("bin", "", "worker binary (countbench); empty runs workers in-process")
+		out      = flag.String("out", "", "directory for per-worker record files (benchjson merges them)")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "per-phase safety timeout")
+		verbose  = flag.Bool("v", false, "log harness progress to stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, sc := range harness.Scenarios() {
+			fmt.Printf("%-10s  %s\n", sc.Name, sc.Desc)
+		}
+		return
+	}
+
+	var run []harness.Scenario
+	if *scenario == "all" {
+		run = harness.Scenarios()
+	} else {
+		sc, err := harness.LookupScenario(*scenario)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scenarios:", err)
+			os.Exit(2)
+		}
+		run = []harness.Scenario{sc}
+	}
+
+	opt := harness.Options{
+		Workers:       *workers,
+		Width:         *width,
+		PhaseDuration: *duration,
+		Block:         *block,
+		Seed:          *seed,
+	}
+	ropt := harness.RunnerOptions{
+		Bin:          *bin,
+		OutDir:       *out,
+		PhaseTimeout: *timeout,
+	}
+	if *bin != "" {
+		ropt.BinArgs = []string{"-worker"}
+	}
+	if *verbose {
+		ropt.Log = os.Stderr
+	}
+
+	mode := "in-process workers"
+	if *bin != "" {
+		mode = fmt.Sprintf("worker binary %s", *bin)
+	}
+	fmt.Printf("scenarios: %d scenario(s), %d workers (%s), width %d, %s per phase, block %d, seed %d\n",
+		len(run), *workers, mode, *width, *duration, *block, *seed)
+
+	failed := 0
+	for _, sc := range run {
+		if err := runOne(sc, opt, ropt); err != nil {
+			fmt.Fprintf(os.Stderr, "scenarios: %s: %v\n", sc.Name, err)
+			fmt.Fprintf(os.Stderr, "scenarios: reproduce with: scenarios -scenario %s -workers %d -width %d -seed %d\n",
+				sc.Name, *workers, *width, *seed)
+			failed++
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runOne executes one scenario, checks the oracle, and prints its
+// per-phase table.
+func runOne(sc harness.Scenario, opt harness.Options, ropt harness.RunnerOptions) error {
+	start := time.Now()
+	res, err := harness.Run(sc, opt, ropt)
+	if err != nil {
+		return err
+	}
+	if err := res.Check(); err != nil {
+		return fmt.Errorf("cross-process oracle: %w", err)
+	}
+
+	var files []*harness.WorkerFile
+	for id, recs := range res.Records {
+		files = append(files, &harness.WorkerFile{
+			Worker: id, Scenario: res.Scenario, Seed: res.Seed,
+			Width: res.Width, Lost: res.Lost[id], Records: recs,
+		})
+	}
+	rows, err := harness.MergeWorkerFiles(files)
+	if err != nil {
+		return err
+	}
+
+	tbl := &bench.Table{
+		ID:     "scenario-" + sc.Name,
+		Title:  fmt.Sprintf("%s: %s", sc.Name, sc.Desc),
+		Note:   fmt.Sprintf("seed %d, width %d, %d phases, oracle passed in %s", res.Seed, res.Width, len(res.Steps), time.Since(start).Round(time.Millisecond)),
+		Header: []string{"phase/worker", "ops", "values", "values/sec", "mean draw", "p99 draw"},
+	}
+	for _, row := range rows {
+		tbl.AddRow(row.Name,
+			fmt.Sprintf("%.0f", row.Extra["ops"]),
+			fmt.Sprintf("%.0f", row.Extra["values"]),
+			fmt.Sprintf("%.0f", row.Extra["values_per_sec"]),
+			fmtNs(row.NsPerOp), fmtNs(row.Extra["p99_ns"]))
+	}
+	tbl.Fprint(os.Stdout)
+
+	total := 0
+	for _, vals := range res.Issued {
+		total += len(vals)
+	}
+	fmt.Printf("scenarios: %s ok — %d values issued across %d workers (%d lost), oracle passed\n\n",
+		sc.Name, total, len(res.Records), len(res.Lost))
+	return nil
+}
+
+// fmtNs renders nanoseconds compactly ("-" for aggregate rows without
+// the metric).
+func fmtNs(ns float64) string {
+	if ns <= 0 {
+		return "-"
+	}
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

@@ -3,17 +3,28 @@ package counter
 import "sync"
 
 // Barrier is a reusable n-party synchronization barrier driven by a
-// Fetch&Increment counter — the classic barrier construction counting
-// networks were proposed for: arrivals take a ticket; the n-th arrival
-// of each generation releases everyone in it. With a NetworkCounter
-// underneath, ticket contention spreads over the network's balancers.
+// Fetch&Increment counter — the classic barrier application counting
+// networks were proposed for: every arrival takes a ticket, so with a
+// NetworkCounter underneath the arrival contention spreads over the
+// network's balancers instead of one hot spot.
+//
+// Generation membership is decided by arrival order under the lock,
+// not by the ticket value. Counting networks are not linearizable: a
+// token entering the network later can exit with a smaller value, so
+// under reuse a party re-arriving for generation g+1 can draw a ticket
+// belonging to generation g. Releasing on "ticket == boundary-1" then
+// deadlocks, because the generation-closing ticket can rest with a
+// party that never arrives again; the schedule-exploration test
+// TestTicketGenerationRefuted (internal/harness/syncsrv) replays a
+// minimal such interleaving against this very construction.
 type Barrier struct {
 	n   int64
 	ctr Counter
 
-	mu   sync.Mutex
-	cond *sync.Cond
-	done int64 // highest fully-released generation boundary (in tickets)
+	mu       sync.Mutex
+	cond     *sync.Cond
+	arrivals int64 // total arrivals that have taken a ticket
+	done     int64 // arrivals of the highest fully-released generation
 }
 
 // NewBarrier builds a barrier for n parties over the given counter
@@ -34,7 +45,8 @@ func NewBarrier(n int, ctr Counter) *Barrier {
 // a Handle instead, so ticket draws skip the counter's shared entry
 // dispatcher.
 func (b *Barrier) Await() int64 {
-	return b.arrive(b.ctr.Next())
+	b.ctr.Next()
+	return b.arrive()
 }
 
 // Handle returns a single-goroutine view of the barrier whose arrival
@@ -58,24 +70,25 @@ type BarrierHandle struct {
 // Await is Barrier.Await drawing the arrival ticket from the handle's
 // private counter view.
 func (h *BarrierHandle) Await() int64 {
-	return h.b.arrive(h.ctr.Next())
+	h.ctr.Next()
+	return h.b.arrive()
 }
 
-// arrive completes an Await given the caller's arrival ticket.
-func (b *Barrier) arrive(t int64) int64 {
-	gen := t / b.n
-	boundary := (gen + 1) * b.n
+// arrive completes an Await after the caller drew its ticket.
+func (b *Barrier) arrive() int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if t == boundary-1 {
-		// Last arrival of this generation: release it (and any earlier
-		// stragglers still waking up).
-		if boundary > b.done {
-			b.done = boundary
+	b.arrivals++
+	gen := (b.arrivals - 1) / b.n
+	if b.arrivals%b.n == 0 {
+		// Last arrival of this generation: release it.
+		if b.arrivals > b.done {
+			b.done = b.arrivals
 		}
 		b.cond.Broadcast()
 		return gen
 	}
+	boundary := (gen + 1) * b.n
 	for b.done < boundary {
 		b.cond.Wait()
 	}

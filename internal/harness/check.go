@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckRun is the cross-process correctness oracle: given the sync
+// server's per-worker issue log and the values each worker process
+// reported drawing, it verifies the counting-network invariants held
+// across real OS processes.
+//
+//   - Issue log: the union of all issued values must be duplicate-free
+//     and exactly 0..N-1 (gap-free at quiescence), and its per-wire
+//     distribution (value mod width) must have the step property.
+//   - Transport: every reported value must have been issued to that
+//     same worker, with no duplicates anywhere in the reports.
+//   - Delivery: a worker not in lost must report exactly what it was
+//     issued; lost workers (killed mid-run) may report any prefix
+//     subset of their issues.
+//   - Reported union: duplicate-free, with gaps and step-property
+//     slack bounded by the values issued to lost workers but never
+//     reported (CheckValues with that bound).
+func CheckRun(width int, issued, reported map[string][]int64, lost map[string]bool) error {
+	if width < 1 {
+		return fmt.Errorf("harness: check with width %d", width)
+	}
+
+	// Workers that report values must appear in the issue log.
+	for w, vals := range reported {
+		if len(vals) > 0 && len(issued[w]) == 0 {
+			return fmt.Errorf("harness: worker %s reported %d values but the server never issued it any", w, len(vals))
+		}
+	}
+
+	// Per-worker transport and delivery checks.
+	maxLost := 0
+	for w, iss := range issued {
+		issSet := make(map[int64]bool, len(iss))
+		for _, v := range iss {
+			issSet[v] = true
+		}
+		rep := reported[w]
+		repSet := make(map[int64]bool, len(rep))
+		for _, v := range rep {
+			if repSet[v] {
+				return fmt.Errorf("harness: worker %s reported value %d twice", w, v)
+			}
+			repSet[v] = true
+			if !issSet[v] {
+				return fmt.Errorf("harness: worker %s reported value %d it was never issued", w, v)
+			}
+		}
+		if lost[w] {
+			maxLost += len(iss) - len(rep)
+			continue
+		}
+		if len(rep) != len(iss) {
+			return fmt.Errorf("harness: worker %s reported %d of %d issued values but was not killed", w, len(rep), len(iss))
+		}
+	}
+
+	// Global invariants on the issue log: the server side of the
+	// counting network must be exactly gap-free at quiescence.
+	var issuedAll []int64
+	for _, vals := range issued {
+		issuedAll = append(issuedAll, vals...)
+	}
+	if err := CheckValues(width, issuedAll, 0); err != nil {
+		return fmt.Errorf("harness: issue log: %w", err)
+	}
+
+	// Global invariants on what crossed the process boundary, with
+	// slack only for values that died with their worker.
+	var reportedAll []int64
+	for _, vals := range reported {
+		reportedAll = append(reportedAll, vals...)
+	}
+	if err := CheckValues(width, reportedAll, maxLost); err != nil {
+		return fmt.Errorf("harness: reported union: %w", err)
+	}
+	return nil
+}
+
+// CheckValues verifies a multiset of values drawn from a width-w
+// counting-network counter: no negatives, no duplicates, at most
+// maxLost values missing below the maximum drawn (the gap bound), and
+// the step property of the per-wire distribution within the slack
+// those missing values allow. With maxLost == 0 this is the exact
+// quiescent contract: values are precisely 0..N-1 and the per-wire
+// token counts step down by at most one across the output order.
+func CheckValues(width int, values []int64, maxLost int) error {
+	if width < 1 {
+		return fmt.Errorf("check width %d", width)
+	}
+	if len(values) == 0 {
+		return nil
+	}
+	var max int64 = -1
+	seen := make(map[int64]bool, len(values))
+	for _, v := range values {
+		if v < 0 {
+			return fmt.Errorf("negative value %d drawn", v)
+		}
+		if seen[v] {
+			return fmt.Errorf("value %d drawn twice", v)
+		}
+		seen[v] = true
+		if v > max {
+			max = v
+		}
+	}
+	n := max + 1
+	missing := int(n) - len(values)
+	if missing > maxLost {
+		return fmt.Errorf("gap bound: %d of values 0..%d missing (first: %d), at most %d may be lost",
+			missing, max, firstMissing(seen, n), maxLost)
+	}
+
+	// Per-wire distribution: value v exited the network on wire
+	// v mod width. The step property demands counts[i] - counts[j] in
+	// {0, 1} for i < j; each lost value relaxes that by at most one.
+	counts := make([]int64, width)
+	for v := range seen {
+		counts[v%int64(width)]++
+	}
+	for i := 0; i < width; i++ {
+		for j := i + 1; j < width; j++ {
+			d := counts[i] - counts[j]
+			if d > int64(1+missing) || d < int64(-missing) {
+				return fmt.Errorf("step property: wires %d,%d drew %d,%d values (diff %d outside [%d,%d] for %d lost)",
+					i, j, counts[i], counts[j], d, -missing, 1+missing, missing)
+			}
+		}
+	}
+	return nil
+}
+
+// firstMissing returns the smallest value in [0,n) absent from seen.
+func firstMissing(seen map[int64]bool, n int64) int64 {
+	for v := int64(0); v < n; v++ {
+		if !seen[v] {
+			return v
+		}
+	}
+	return -1
+}
+
+// UnionValues flattens a per-worker value map into one sorted slice,
+// the form the gap/step reports and fixtures use.
+func UnionValues(byWorker map[string][]int64) []int64 {
+	var all []int64
+	for _, vals := range byWorker {
+		all = append(all, vals...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all
+}

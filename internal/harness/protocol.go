@@ -1,0 +1,117 @@
+// Package harness is the multi-process traffic harness: a scenario
+// plan runner that launches N worker processes, phase-synchronizes
+// them through a syncsrv coordination server whose barrier runs on a
+// counting network, injects faults (stragglers, node join/leave,
+// worker kill with rejoin), and checks the counting invariants —
+// step property and gap bounds — over the union of the values the
+// workers actually drew across process boundaries.
+//
+// Runner and worker speak a line-oriented JSON protocol over the
+// worker's stdin/stdout (one object per line), so any binary
+// implementing the loop in RunWorker can serve as a worker; the
+// shipped one is `countbench -worker`. See docs/TESTING.md, "Layer 6".
+package harness
+
+import (
+	"strconv"
+	"time"
+)
+
+// PhaseSpec tells a worker how to run one measurement phase. The
+// worker arrives at the phase's start barrier, draws value blocks from
+// the sync server until the phase ends, arrives at the end barrier,
+// and reports a PhaseRecord.
+type PhaseSpec struct {
+	// Index is the 0-based phase number within the run; it namespaces
+	// the barrier states, so every phase synchronizes on fresh states.
+	Index int `json:"index"`
+	// Name labels the phase in records and barrier states.
+	Name string `json:"name"`
+	// Parties is the number of arrivals each phase barrier waits for —
+	// every live worker, plus the runner standing in for workers it
+	// killed mid-phase.
+	Parties int `json:"parties"`
+	// Duration bounds the draw loop (wall time between the barriers).
+	// Ignored when TargetOps is set.
+	Duration time.Duration `json:"duration"`
+	// TargetOps, when positive, ends the loop after exactly that many
+	// draw calls instead of after Duration.
+	TargetOps int `json:"target_ops,omitempty"`
+	// Block is the number of values leased per draw call.
+	Block int `json:"block"`
+	// Throttle injects a per-draw delay — the slow-node fault: a
+	// straggler sleeps this long after every draw.
+	Throttle time.Duration `json:"throttle,omitempty"`
+	// DieAfterOps, when positive, injects a crash: after that many
+	// draws the worker reports "dying" and freezes (never arriving at
+	// the end barrier, never reporting the phase); the runner then
+	// SIGKILLs the process and stands in at the end barrier.
+	DieAfterOps int `json:"die_after_ops,omitempty"`
+}
+
+// startState and endState name the barrier states of a phase.
+func (p *PhaseSpec) startState() string { return barrierState(p.Index, p.Name, "start") }
+func (p *PhaseSpec) endState() string   { return barrierState(p.Index, p.Name, "end") }
+
+// BarrierState builds the canonical barrier state name for phase index
+// i named name at point ("start" or "end"). Exported for the runner's
+// stand-in arrivals.
+func BarrierState(i int, name, point string) string { return barrierState(i, name, point) }
+
+func barrierState(i int, name, point string) string {
+	return "phase" + strconv.Itoa(i) + ":" + name + ":" + point
+}
+
+// Command is one runner-to-worker line.
+type Command struct {
+	// Op is "phase" (run Phase) or "exit" (report bye and return).
+	Op    string     `json:"op"`
+	Phase *PhaseSpec `json:"phase,omitempty"`
+}
+
+// Message is one worker-to-runner line.
+type Message struct {
+	// Op is "ready" (registration done), "record" (phase finished,
+	// Record set), "dying" (injected crash point reached), "bye"
+	// (exit acknowledged), or "error" (Err set; worker is giving up).
+	Op     string       `json:"op"`
+	Worker string       `json:"worker"`
+	Record *PhaseRecord `json:"record,omitempty"`
+	Err    string       `json:"err,omitempty"`
+}
+
+// PhaseRecord is one worker's measurement of one phase: the values it
+// drew (the checker's evidence) and the per-draw latency/throughput
+// summary (the benchmark lane's payload).
+type PhaseRecord struct {
+	Worker   string        `json:"worker"`
+	Phase    string        `json:"phase"`
+	Index    int           `json:"index"`
+	Block    int           `json:"block"`
+	Throttle time.Duration `json:"throttle,omitempty"`
+	// Ops counts completed draw calls; ValuesDrawn = Ops * Block.
+	Ops         int   `json:"ops"`
+	ValuesDrawn int   `json:"values_drawn"`
+	ElapsedNs   int64 `json:"elapsed_ns"`
+	// StartGen/EndGen are the barrier generations observed (0 unless a
+	// state is reused across generations).
+	StartGen int64 `json:"start_gen"`
+	EndGen   int64 `json:"end_gen"`
+	// Draw-latency summary over the phase's draw calls, nanoseconds
+	// per call (one call leases Block values).
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  float64 `json:"p50_ns"`
+	P90Ns  float64 `json:"p90_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+	MaxNs  float64 `json:"max_ns"`
+	// Values lists every value drawn, in draw order.
+	Values []int64 `json:"values"`
+}
+
+// OpsPerSec returns the phase's values-per-second throughput.
+func (r *PhaseRecord) OpsPerSec() float64 {
+	if r.ElapsedNs <= 0 {
+		return 0
+	}
+	return float64(r.ValuesDrawn) / (float64(r.ElapsedNs) / 1e9)
+}

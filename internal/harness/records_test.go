@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleFiles() []*WorkerFile {
+	rec := func(worker string, idx int, phase string, ops int, mean float64) PhaseRecord {
+		return PhaseRecord{
+			Worker: worker, Phase: phase, Index: idx, Block: 2,
+			Ops: ops, ValuesDrawn: ops * 2,
+			ElapsedNs: 1e9, MeanNs: mean,
+		}
+	}
+	return []*WorkerFile{
+		{Worker: "w0", Scenario: "demo", Seed: 7, Width: 4, Records: []PhaseRecord{
+			rec("w0", 0, "warm", 10, 100),
+			rec("w0", 1, "steady", 30, 200),
+		}},
+		{Worker: "w1", Scenario: "demo", Seed: 7, Width: 4, Records: []PhaseRecord{
+			rec("w1", 0, "warm", 20, 400),
+			rec("w1", 1, "steady", 10, 600),
+		}},
+	}
+}
+
+// TestMergeWorkerFilesDeterministic: row order is pinned by name, and
+// input file order must not matter.
+func TestMergeWorkerFilesDeterministic(t *testing.T) {
+	files := sampleFiles()
+	a, err := MergeWorkerFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MergeWorkerFiles([]*WorkerFile{files[1], files[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 6 || len(b) != 6 { // 2 phases x (2 workers + aggregate)
+		t.Fatalf("merged %d and %d rows, want 6", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].NsPerOp != b[i].NsPerOp {
+			t.Fatalf("row %d differs across input orders: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	wantOrder := []string{
+		"demo/p00-warm/all", "demo/p00-warm/w0", "demo/p00-warm/w1",
+		"demo/p01-steady/all", "demo/p01-steady/w0", "demo/p01-steady/w1",
+	}
+	for i, want := range wantOrder {
+		if a[i].Name != want {
+			t.Fatalf("row %d = %q, want %q", i, a[i].Name, want)
+		}
+	}
+}
+
+// TestMergeAggregates: the "/all" row carries ops-weighted mean
+// latency and the worker count.
+func TestMergeAggregates(t *testing.T) {
+	rows, err := MergeWorkerFiles(sampleFiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warm *MergedRow
+	for i := range rows {
+		if rows[i].Name == "demo/p00-warm/all" {
+			warm = &rows[i]
+		}
+	}
+	if warm == nil {
+		t.Fatal("no warm aggregate row")
+	}
+	// (10*100 + 20*400) / 30 = 300.
+	if warm.NsPerOp != 300 {
+		t.Fatalf("aggregate mean = %v, want 300", warm.NsPerOp)
+	}
+	if warm.Extra["ops"] != 30 || warm.Extra["values"] != 60 || warm.Extra["workers"] != 2 {
+		t.Fatalf("aggregate extras = %v", warm.Extra)
+	}
+}
+
+// TestMergeRejectsDuplicates: the same worker file twice is a caller
+// bug the merge must refuse, not silently double-count.
+func TestMergeRejectsDuplicates(t *testing.T) {
+	files := sampleFiles()
+	if _, err := MergeWorkerFiles([]*WorkerFile{files[0], files[0]}); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestWorkerFileRoundTrip: write/read preserves the artifact.
+func TestWorkerFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "worker-demo-w0.json")
+	want := sampleFiles()[0]
+	want.Lost = true
+	want.Records[0].Values = []int64{0, 2, 4}
+	if err := WriteWorkerFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWorkerFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Worker != "w0" || !got.Lost || got.Seed != 7 || len(got.Records) != 2 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if len(got.Records[0].Values) != 3 || got.Records[0].Values[1] != 2 {
+		t.Fatalf("values lost in round trip: %+v", got.Records[0])
+	}
+	if _, err := ReadWorkerFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("absent file read")
+	}
+}

@@ -1,0 +1,127 @@
+package syncsrv
+
+import (
+	"fmt"
+	"sync"
+
+	"countnet/internal/counter"
+	"countnet/internal/network"
+)
+
+// stateBarrier is one named barrier state: an n-party reusable barrier
+// whose arrivals each draw a ticket from a counting-network counter,
+// spreading arrival contention over the network's balancers — the
+// barrier application counting networks were proposed for.
+//
+// Generation membership, however, is decided by arrival order under
+// the lock, NOT by the ticket value. Counting networks are not
+// linearizable: a token that enters the network later can exit with a
+// smaller value, so under reuse a party re-arriving for generation g+1
+// can draw a ticket belonging to generation g. Deciding "last arrival"
+// by ticket value then deadlocks — the generation-closing ticket may
+// sit forever with a party that never arrives again. The exploration
+// test TestTicketGenerationRefuted replays a minimal such schedule.
+// The tickets still spread contention, and at quiescence they must be
+// exactly 0..arrivals-1 (checked by quiesce; Hub.Quiesce surfaces it
+// to the post-run oracle).
+type stateBarrier struct {
+	n   int64
+	ctr *counter.NetworkCounter
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	arrivals  int64 // total Await calls that have taken a ticket
+	done      int64 // arrivals of the highest fully-released generation
+	maxTicket int64 // largest counting-network ticket seen
+	closed    bool
+}
+
+func newStateBarrier(net *network.Network, n int) *stateBarrier {
+	b := &stateBarrier{n: int64(n), ctr: counter.NewNetworkCounter(net, false), maxTicket: -1}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Await blocks until all n parties of the caller's generation have
+// arrived and returns the 0-based generation, or an error if the hub
+// was closed while waiting.
+func (b *stateBarrier) Await() (int64, error) {
+	t := b.ctr.Next()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen, boundary := b.arrive(t)
+	if boundary == 0 {
+		return gen, nil // last arrival: generation released
+	}
+	for b.done < boundary && !b.closed {
+		b.cond.Wait()
+	}
+	if b.done < boundary {
+		return 0, fmt.Errorf("syncsrv: barrier closed with %d of %d arrivals", b.arrivals%b.n, b.n)
+	}
+	return gen, nil
+}
+
+// AwaitHooked is Await with schedule instrumentation for the sched
+// harness: the arrival ticket traverses the counting network entering
+// on the given wire with yield before every atomic step, and the
+// release wait parks in block instead of the condition variable. It
+// shares b.mu and the arrival bookkeeping with Await, so it explores
+// the shipped release logic, not a model of it.
+func (b *stateBarrier) AwaitHooked(wire int, yield func(op string), block func(op string, ready func() bool)) int64 {
+	t := b.ctr.NextOnHooked(wire, yield)
+	yield("barrier gate")
+	b.mu.Lock()
+	gen, boundary := b.arrive(t)
+	b.mu.Unlock()
+	if boundary == 0 {
+		return gen
+	}
+	block("barrier wait", func() bool {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return b.done >= boundary
+	})
+	return gen
+}
+
+// arrive records one ticketed arrival under b.mu and returns the
+// caller's generation. A zero boundary means the caller completed its
+// generation and released it; otherwise the caller must wait for
+// b.done to reach the boundary.
+func (b *stateBarrier) arrive(t int64) (gen, boundary int64) {
+	if t > b.maxTicket {
+		b.maxTicket = t
+	}
+	b.arrivals++
+	gen = (b.arrivals - 1) / b.n
+	if b.arrivals%b.n == 0 {
+		if b.arrivals > b.done {
+			b.done = b.arrivals
+		}
+		b.cond.Broadcast()
+		return gen, 0
+	}
+	return gen, (gen + 1) * b.n
+}
+
+// quiesce verifies the barrier's counting-network tickets at rest:
+// with every arrival returned, the network must have issued exactly
+// 0..arrivals-1 (gap-free quiescence, the paper's counting contract).
+func (b *stateBarrier) quiesce() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.maxTicket != b.arrivals-1 {
+		return fmt.Errorf("tickets not gap-free at quiescence: %d arrivals but max ticket %d", b.arrivals, b.maxTicket)
+	}
+	return nil
+}
+
+// close releases every waiter with an error; called with the hub lock
+// held during Hub.Close.
+func (b *stateBarrier) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

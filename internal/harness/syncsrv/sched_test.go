@@ -1,0 +1,136 @@
+// Schedule exploration of the sync server's barrier: concurrent
+// arrivals run under the internal/sched controlled scheduler, with
+// ticket draws traversing the real counting network via the hooked
+// balancer path (AwaitHooked shares its mutex and release state with
+// the shipped Await). Invariant: in every interleaving, each party's
+// k-th arrival returns generation k — no lost wakeups, no generation
+// skew, regardless of how balancer accesses and the release broadcast
+// interleave. Lives in-package because stateBarrier is unexported.
+package syncsrv
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"countnet/internal/core"
+	"countnet/internal/sched"
+)
+
+// barrierSystem builds a sched.System of `parties` tasks that each
+// pass through a fresh barrier `rounds` times on distinct entry wires.
+func barrierSystem(t *testing.T, parties, rounds int) sched.System {
+	t.Helper()
+	return func() ([]sched.TaskFunc, func(*sched.Trace) error) {
+		net, err := core.K(2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := newStateBarrier(net, parties)
+		gens := make([][]int64, parties)
+		tasks := make([]sched.TaskFunc, parties)
+		for i := 0; i < parties; i++ {
+			i := i
+			tasks[i] = func(y *sched.Yield) {
+				for r := 0; r < rounds; r++ {
+					gens[i] = append(gens[i], b.AwaitHooked(i%net.Width(), y.Step, y.Block))
+				}
+			}
+		}
+		check := func(tr *sched.Trace) error {
+			for i, gs := range gens {
+				if len(gs) != rounds {
+					return fmt.Errorf("party %d completed %d of %d rounds", i, len(gs), rounds)
+				}
+				for r, g := range gs {
+					if g != int64(r) {
+						return fmt.Errorf("party %d round %d returned generation %d (all: %v)", i, r, g, gs)
+					}
+				}
+			}
+			return nil
+		}
+		return tasks, check
+	}
+}
+
+// TestBarrierUnderExploredSchedules drives random and bounded-
+// preemption-exhaustive interleavings of concurrent barrier arrivals.
+func TestBarrierUnderExploredSchedules(t *testing.T) {
+	for _, tc := range []struct{ parties, rounds int }{
+		{2, 3}, // reuse across generations
+		{3, 2}, // more arrival races per generation
+	} {
+		name := fmt.Sprintf("p%dr%d", tc.parties, tc.rounds)
+		sys := barrierSystem(t, tc.parties, tc.rounds)
+		if rep := sched.ExploreRandom(sys, 0xba44, 150, 20_000); rep.Failure != nil {
+			t.Errorf("%s random: %s", name, rep.Failure)
+		}
+		if rep := sched.ExploreDFS(sys, 1, 5_000, 20_000); rep.Failure != nil {
+			t.Errorf("%s dfs: %s", name, rep.Failure)
+		}
+	}
+}
+
+// TestTicketGenerationRefuted: the naive ticket-ordered barrier —
+// generation and release decided by the counting-network ticket value,
+// as in "release when ticket == boundary-1" — deadlocks under reuse,
+// because counting networks are not linearizable: a re-arriving party
+// can draw a ticket belonging to the previous generation, leaving that
+// generation's closing ticket with a party that never arrives again.
+// The exploration must find such a schedule; this is the refutation
+// that justifies arrival-ordered release in stateBarrier (and
+// counter.Barrier).
+func TestTicketGenerationRefuted(t *testing.T) {
+	const parties, rounds = 3, 2
+	sys := func() ([]sched.TaskFunc, func(*sched.Trace) error) {
+		net, err := core.K(2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := newStateBarrier(net, parties)
+		tasks := make([]sched.TaskFunc, parties)
+		for i := 0; i < parties; i++ {
+			i := i
+			tasks[i] = func(y *sched.Yield) {
+				for r := 0; r < rounds; r++ {
+					ticketArrive(b, i%net.Width(), y)
+				}
+			}
+		}
+		return tasks, func(tr *sched.Trace) error { return nil }
+	}
+	rep := sched.ExploreRandom(sys, 0xdead, 500, 20_000)
+	if rep.Failure == nil {
+		t.Fatal("ticket-ordered release survived exploration; expected a deadlock schedule")
+	}
+	if !strings.Contains(rep.Failure.Err.Error(), "deadlock") {
+		t.Fatalf("unexpected failure kind: %v", rep.Failure.Err)
+	}
+}
+
+// ticketArrive is the refuted construction: generation from the ticket
+// value, release when the generation's highest ticket arrives. It uses
+// the same network counter and lock as the real barrier so the
+// exploration runs the same instrumented traversal.
+func ticketArrive(b *stateBarrier, wire int, y *sched.Yield) int64 {
+	t := b.ctr.NextOnHooked(wire, y.Step)
+	gen := t / b.n
+	boundary := (gen + 1) * b.n
+	y.Step("barrier gate")
+	b.mu.Lock()
+	if t == boundary-1 {
+		if boundary > b.done {
+			b.done = boundary
+		}
+		b.mu.Unlock()
+		return gen
+	}
+	b.mu.Unlock()
+	y.Block("barrier wait", func() bool {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return b.done >= boundary
+	})
+	return gen
+}
