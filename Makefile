@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench bench-plan bench-counter bench-obs bench-scenarios bench-smoke obs-smoke scenario-smoke fuzz soak vet fmt lint netvet experiments examples clean
+.PHONY: all build test race short bench bench-plan bench-counter bench-obs bench-scenarios bench-smoke obs-smoke scenario-smoke fuzz soak vet fmt lint netvet generate generate-check experiments examples clean
 
 all: build vet test
 
@@ -39,6 +39,18 @@ lint: netvet
 test:
 	$(GO) test -shuffle=on ./...
 
+# Regenerate the branchless compare-exchange kernels from the
+# internal/optnet table (cmd/kernelgen verifies every embedded network
+# exhaustively before emitting code).
+generate:
+	$(GO) run ./cmd/kernelgen -out internal/runner/zkernels.go
+
+# Drift gate: fail if the committed kernels differ from what the
+# current table generates. CI runs this; `go test ./cmd/kernelgen`
+# enforces the same in-tree.
+generate-check:
+	$(GO) run ./cmd/kernelgen -check -out internal/runner/zkernels.go
+
 short:
 	$(GO) test -short ./...
 
@@ -51,7 +63,7 @@ bench:
 # Benchmarks that gate the compiled-plan/memoization fast paths,
 # recorded to BENCH_plan.json (the committed "baseline" set is
 # preserved; only "current" is rewritten).
-BENCH_KEY = 'BenchmarkBuildK|BenchmarkBuildL|BenchmarkSortNetworks|BenchmarkBatchSort|BenchmarkTraverseParallel'
+BENCH_KEY = 'BenchmarkBuildK|BenchmarkBuildL|BenchmarkSortNetworks|BenchmarkBatchSort|BenchmarkTraverseParallel|BenchmarkWideGateKernel'
 
 bench-plan:
 	$(GO) test -run '^$$' -bench $(BENCH_KEY) -benchmem -benchtime 300ms . \
@@ -133,6 +145,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzApplyTokensStep -fuzztime=30s ./internal/runner
 	$(GO) test -fuzz=FuzzBatchVsSerial -fuzztime=30s ./internal/runner
 	$(GO) test -fuzz=FuzzComparatorsSort -fuzztime=30s ./internal/runner
+	$(GO) test -fuzz=FuzzKernelVsSort -fuzztime=30s ./internal/runner
 	$(GO) test -fuzz=FuzzJSONUnmarshal -fuzztime=30s ./internal/network
 	$(GO) test -run '^$$' -fuzz=FuzzCounterSchedules -fuzztime=30s ./internal/counter
 	$(GO) test -run '^$$' -fuzz=FuzzPoolSchedules -fuzztime=30s ./internal/pool

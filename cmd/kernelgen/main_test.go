@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGeneratedKernelsCurrent is the in-tree drift gate: the committed
+// internal/runner/zkernels.go must byte-match what Generate() produces
+// from the current internal/optnet table. A table edit without
+// `go generate ./internal/runner` (or `make generate`) fails here —
+// inside plain `go test ./...`, not only in CI's generate-check step.
+func TestGeneratedKernelsCurrent(t *testing.T) {
+	want, err := Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("..", "..", "internal", "runner", "zkernels.go")
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s is stale: regenerate with `go generate ./internal/runner` (or `make generate`)", path)
+	}
+}
+
+// TestGenerateDeterministic guards reproducibility of the generator
+// itself — two runs must emit identical bytes.
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("Generate() is not deterministic")
+	}
+}

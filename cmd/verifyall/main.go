@@ -1,8 +1,10 @@
 // Command verifyall runs the full verification battery over a matrix
 // of constructions — every factorization of a set of widths for K and
-// L, an R(p,q) grid, the bitonic converter D(p,q), and the classical
-// baselines — and exits non-zero if anything fails. It is the CI
-// entry point for construction correctness.
+// L (plus their sorting-only Kopt/Lopt variants), an R(p,q)/Ropt(p,q)
+// grid, the bitonic converter D(p,q), the embedded depth-optimal
+// sorters, and the classical baselines — and exits non-zero if
+// anything fails. It is the CI entry point for construction
+// correctness.
 //
 // Each paper construction is confirmed twice, by independent means:
 // dynamically (internal/verify pushes tokens and sorts values) and
@@ -72,6 +74,23 @@ func main() {
 		}
 	}
 
+	// checkSort verifies the sorting property only — for the opt-base
+	// variants, whose embedded bases are sorting networks, not counting
+	// networks. Whether a given shape happens to count is neither
+	// promised nor refuted, so the counting verdict is not asserted.
+	checkSort := func(name string, n *countnet.Network, staticSummary string) {
+		total++
+		if err := n.VerifySorting(*seed); err != nil {
+			failures++
+			fmt.Printf("FAIL %-16s sorting=%v\n", name, errString(err))
+			return
+		}
+		if *verbose {
+			fmt.Printf("ok   %-16s width=%-4d depth=%-3d gates=%-5d maxGate=%-3d %s (sorting only)\n",
+				name, n.Width(), n.Depth(), n.Size(), n.MaxBalancerWidth(), staticSummary)
+		}
+	}
+
 	for _, ws := range strings.Split(*widths, ",") {
 		w, err := strconv.Atoi(strings.TrimSpace(ws))
 		if err != nil || w < 2 {
@@ -104,6 +123,33 @@ func main() {
 				os.Exit(1)
 			}
 			check(l.Name(), l, true, static(netcheck.ProveL(cl, fs)))
+
+			// Optimal-base variants: sorting-only, with their own
+			// static proofs (2-balancer width bound when every pair
+			// product embeds, additive depth bounds).
+			ko, err := countnet.NewKOpt(fs...)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "verifyall:", err)
+				os.Exit(1)
+			}
+			cko, err := core.KOpt(fs...)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "verifyall:", err)
+				os.Exit(1)
+			}
+			checkSort(ko.Name(), ko, static(netcheck.ProveKOpt(cko, fs)))
+
+			lo, err := countnet.NewLOpt(fs...)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "verifyall:", err)
+				os.Exit(1)
+			}
+			clo, err := core.LOpt(fs...)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "verifyall:", err)
+				os.Exit(1)
+			}
+			checkSort(lo.Name(), lo, static(netcheck.ProveLOpt(clo, fs)))
 		}
 	}
 
@@ -120,6 +166,18 @@ func main() {
 				os.Exit(1)
 			}
 			check(r.Name(), r, true, static(netcheck.ProveR(cr, p, q)))
+
+			ro, err := countnet.NewROpt(p, q)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "verifyall:", err)
+				os.Exit(1)
+			}
+			cro, err := core.ROpt(p, q)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "verifyall:", err)
+				os.Exit(1)
+			}
+			checkSort(ro.Name(), ro, static(netcheck.ProveROpt(cro, p, q)))
 
 			// The bitonic converter D(p,q) is a building block, not a
 			// counting network on its own, so it gets only the static
@@ -154,6 +212,11 @@ func main() {
 		}
 		if n, err := countnet.NewMergeExchange(w); err == nil {
 			check(n.Name(), n, false, "")
+		}
+	}
+	for w := 2; w <= 16; w++ {
+		if n, err := countnet.NewOptSorter(w); err == nil {
+			checkSort(n.Name(), n, "")
 		}
 	}
 

@@ -90,6 +90,32 @@ func NewL(factors ...int) (*Network, error) { return wrapErr(core.L(factors...))
 // depth at most 16, comparators/balancers of width at most max(p,q).
 func NewR(p, q int) (*Network, error) { return wrapErr(core.R(p, q)) }
 
+// NewKOpt builds the Kopt variant of family K: every base-case C(p,q)
+// slot with p*q <= 16 is realized by the embedded depth-optimal
+// sorting network of that width (2-balancers only) instead of one
+// pq-wide switch; wider slots fall back to the bare balancer. The
+// result is a SORTING network only — the substituted bases are
+// sorting networks, not counting networks, so the counting guarantee
+// of family K does not carry over (like NewBubble and
+// NewOddEvenMergeSort, it sorts but must not be used as a counter).
+func NewKOpt(factors ...int) (*Network, error) { return wrapErr(core.KOpt(factors...)) }
+
+// NewLOpt builds the Lopt variant of family L: embedded depth-optimal
+// sorting networks in the C(p,q) slots with p*q <= 16, R(p,q) beyond.
+// Sorting-only, like NewKOpt.
+func NewLOpt(factors ...int) (*Network, error) { return wrapErr(core.LOpt(factors...)) }
+
+// NewROpt builds the optimal-base counterpart of R(p,q): the embedded
+// depth-optimal sorting network of width p*q when p*q <= 16 (depth at
+// most 10, 2-balancers only), R(p,q) itself beyond the table.
+// Sorting-only, like NewKOpt.
+func NewROpt(p, q int) (*Network, error) { return wrapErr(core.ROpt(p, q)) }
+
+// NewOptSorter builds the embedded depth-optimal sorting network of
+// width w (2 <= w <= 16) on its own: proven- or near-optimal depth,
+// 2-comparators only. It sorts but is not a counting network.
+func NewOptSorter(w int) (*Network, error) { return wrapErr(core.OptSortNetwork(w)) }
+
 // NewBitonic builds the classical bitonic counting network of width
 // w = 2^k (depth k(k+1)/2, 2-balancers).
 func NewBitonic(w int) (*Network, error) { return wrapErr(baseline.Bitonic(w)) }

@@ -383,3 +383,64 @@ func TestFactorizationHelpers(t *testing.T) {
 		t.Errorf("NewL(balanced): %v %v", n, err)
 	}
 }
+
+// TestOptConstructors covers the sorting-only optimal-base wrappers:
+// they sort, expose the expected structure, and reject bad widths.
+// The counting verdict is deliberately not asserted (see NewKOpt).
+func TestOptConstructors(t *testing.T) {
+	ko, err := NewKOpt(2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ko.VerifySorting(1); err != nil {
+		t.Errorf("NewKOpt(2,2,4): %v", err)
+	}
+	if got := ko.MaxBalancerWidth(); got != 2 {
+		t.Errorf("NewKOpt(2,2,4): max balancer width %d, want 2", got)
+	}
+	lo, err := NewLOpt(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lo.VerifySorting(1); err != nil {
+		t.Errorf("NewLOpt(3,4): %v", err)
+	}
+	ro, err := NewROpt(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ro.VerifySorting(1); err != nil {
+		t.Errorf("NewROpt(4,4): %v", err)
+	}
+	if got, want := ro.Depth(), 10; got != want {
+		t.Errorf("NewROpt(4,4): depth %d, want %d", got, want)
+	}
+	os, err := NewOptSorter(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.VerifySorting(1); err != nil {
+		t.Errorf("NewOptSorter(10): %v", err)
+	}
+	if _, err := NewOptSorter(17); err == nil {
+		t.Error("NewOptSorter(17) should fail")
+	}
+	if _, err := NewKOpt(); err == nil {
+		t.Error("NewKOpt() should fail")
+	}
+	// The custom facade reaches the same bases.
+	c, err := NewCustom(Options{Base: BaseOptBalancer, Staircase: StaircaseOptimizedBase}, 2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != ko.Size() || c.Depth() != ko.Depth() {
+		t.Errorf("NewCustom(opt) %d/%d differs from NewKOpt %d/%d", c.Size(), c.Depth(), ko.Size(), ko.Depth())
+	}
+	cr, err := NewCustom(Options{Base: BaseOptR, Staircase: StaircaseOptimizedBitonic}, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Size() != lo.Size() || cr.Depth() != lo.Depth() {
+		t.Errorf("NewCustom(optR) %d/%d differs from NewLOpt %d/%d", cr.Size(), cr.Depth(), lo.Size(), lo.Depth())
+	}
+}

@@ -18,6 +18,16 @@ const (
 	// BaseR realizes C(p,q) as the constant-depth R(p,q) network
 	// (family L's choice; depth <= 16, width up to max(pi)).
 	BaseR
+	// BaseOptBalancer realizes C(p,q) as the embedded depth-optimal
+	// sorting network of width p*q when p*q <= 16 (2-balancers only),
+	// falling back to one pq-wide switch beyond the table. The result
+	// is a sorting network but carries NO counting guarantee — see
+	// NewKOpt.
+	BaseOptBalancer
+	// BaseOptR realizes C(p,q) as the embedded depth-optimal sorting
+	// network when p*q <= 16, falling back to R(p,q) beyond the table.
+	// Sorting-only, like BaseOptBalancer.
+	BaseOptR
 )
 
 // StaircaseKind selects the staircase-merger variant of Sections 4.3
@@ -50,6 +60,9 @@ type Options struct {
 // Section 4 with explicit choices for the pluggable pieces. NewK and
 // NewL are the two configurations the paper names; the other base and
 // staircase combinations are useful for ablation (see experiment E8).
+// Configurations using BaseOptBalancer or BaseOptR produce SORTING
+// networks only (see NewKOpt): the counting property is not asserted
+// for them.
 func NewCustom(opt Options, factors ...int) (*Network, error) {
 	cfg := core.Config{}
 	switch opt.Base {
@@ -57,6 +70,10 @@ func NewCustom(opt Options, factors ...int) (*Network, error) {
 		cfg.Base = core.BalancerBase
 	case BaseR:
 		cfg.Base = core.RBase
+	case BaseOptBalancer:
+		cfg.Base = core.OptBalancerBase
+	case BaseOptR:
+		cfg.Base = core.OptRBase
 	default:
 		return nil, fmt.Errorf("countnet: unknown base kind %d", opt.Base)
 	}

@@ -106,6 +106,10 @@ const (
 	baseBalancer
 	baseRNet
 	baseNone // zero Config: construction never calls the base
+	// Optimal-sorter bases (optbase.go). Appended after baseNone so
+	// the cfgTag strings of the original kinds stay stable.
+	baseOptBalancer
+	baseOptRNet
 )
 
 func funcPtr(f BaseFunc) uintptr {
@@ -123,6 +127,10 @@ func baseKindOf(f BaseFunc) int {
 		return baseBalancer
 	case funcPtr(BaseFunc(RBase)):
 		return baseRNet
+	case funcPtr(BaseFunc(OptBalancerBase)):
+		return baseOptBalancer
+	case funcPtr(BaseFunc(OptRBase)):
+		return baseOptRNet
 	default:
 		return baseUnknown
 	}
@@ -172,6 +180,10 @@ func (e *buildEnv) callBase(in []int, p, q int, label string) []int {
 		return in
 	case baseRNet:
 		return e.buildR(in, p, q, label)
+	case baseOptBalancer:
+		return e.optBalancerBase(in, p, q, label)
+	case baseOptRNet:
+		return e.optRBase(in, p, q, label)
 	default:
 		return e.cfg.Base(e.b, in, p, q, label)
 	}

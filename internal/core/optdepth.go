@@ -1,0 +1,83 @@
+package core
+
+import "countnet/internal/optnet"
+
+// Depth accounting for the optimal-base variants. The closed forms of
+// Propositions 1/3/6 assume a constant base depth d; with the
+// substituted sorters d varies per (p,q) slot (e.g. d(2,2)=3 but
+// d(4,4)=10), so the bounds below re-run the paper's additive
+// recursion with the per-slot depths instead of a constant:
+//
+//	C(p0)            = 1                            (single balancer)
+//	C(p0,p1)         = d(p0,p1)                     (one base)
+//	C(p0..pn-1)     <= C(p0..pn-2) + M(p0..pn-1)
+//	M(p0,p1)         = d(p0,p1)
+//	M(p0..pn-1)     <= M(p0..pn-3,pn-1) + S(r, pn-1, pn-2)
+//	S, r == 1        = d(p,q)                       (base layer only)
+//	S, opt-base      = 2*d(p,q) + 1                 (Section 4.3.1)
+//	S, opt-bitonic   = d(p,q) + 3
+//
+// Concatenated stages add at most their individual depths, so each
+// bound is a genuine upper bound on the built network's depth; the
+// builder's earliest-legal layer compaction can (and does) come in
+// under it when adjacent stages interleave. netcheck's ProveKOpt and
+// ProveLOpt assert the built depth never exceeds these bounds, and the
+// netcheck tests pin the exact measured depths (the "depth delta"
+// record vs. the constant-base families).
+
+// OptBaseDepth returns the depth of the substituted base C(p,q): the
+// embedded sorter's depth when p*q <= optnet.MaxWidth, fallback
+// otherwise (1 for the K-family balancer base, RDepthBound for the
+// L-family R base).
+func OptBaseDepth(p, q, fallback int) int {
+	if n, ok := optnet.For(p * q); ok {
+		return n.Depth
+	}
+	return fallback
+}
+
+// KOptDepthBound bounds the depth of KOpt(factors).
+func KOptDepthBound(factors []int) int {
+	return cOptDepth(factors,
+		func(p, q int) int { return OptBaseDepth(p, q, 1) },
+		func(d int) int { return 2*d + 1 })
+}
+
+// LOptDepthBound bounds the depth of LOpt(factors).
+func LOptDepthBound(factors []int) int {
+	return cOptDepth(factors,
+		func(p, q int) int { return OptBaseDepth(p, q, RDepthBound) },
+		func(d int) int { return d + 3 })
+}
+
+// cOptDepth is the counting-network recursion with per-slot base
+// depths; d(p,q) is the base depth, sd(d) the staircase depth given
+// its base's depth.
+func cOptDepth(factors []int, d func(p, q int) int, sd func(int) int) int {
+	n := len(factors)
+	switch n {
+	case 0:
+		return 0
+	case 1:
+		return 1
+	case 2:
+		return d(factors[0], factors[1])
+	}
+	return cOptDepth(factors[:n-1], d, sd) + mOptDepth(factors, d, sd)
+}
+
+// mOptDepth is the merger recursion: M(p0..pn-1) runs sub-mergers
+// M(p0..pn-3,pn-1) in parallel, then S(prod(p0..pn-3), pn-1, pn-2).
+func mOptDepth(factors []int, d func(p, q int) int, sd func(int) int) int {
+	n := len(factors)
+	if n == 2 {
+		return d(factors[0], factors[1])
+	}
+	sub := append(append([]int(nil), factors[:n-2]...), factors[n-1])
+	base := d(factors[n-1], factors[n-2])
+	s := base
+	if Product(factors[:n-2]) > 1 {
+		s = sd(base)
+	}
+	return mOptDepth(sub, d, sd) + s
+}

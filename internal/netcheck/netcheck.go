@@ -25,6 +25,7 @@ import (
 
 	"countnet/internal/core"
 	"countnet/internal/network"
+	"countnet/internal/optnet"
 )
 
 // Property is one statically-proven (or refuted) fact.
@@ -286,4 +287,74 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// KOptWidthBound is the balancer-width bound of the Kopt variant:
+// with every pairwise factor product within optnet.MaxWidth the
+// substituted sorters reduce every base to 2-balancers, so the whole
+// network is made of 2-balancers; any pair product beyond the table
+// falls back to a bare pq-balancer and re-enters the bound. A single
+// factor stays the single p0-balancer of family K.
+func KOptWidthBound(factors []int) int {
+	if len(factors) == 1 {
+		return factors[0]
+	}
+	wb := 2
+	for i, pi := range factors {
+		for j, pj := range factors {
+			if i != j && pi*pj > optnet.MaxWidth && pi*pj > wb {
+				wb = pi * pj
+			}
+		}
+	}
+	return wb
+}
+
+// ProveKOpt proves the Kopt variant's structural properties: width
+// p0·…·pn−1, balancer width at most KOptWidthBound (2 when every
+// pairwise product embeds), and depth at most core.KOptDepthBound —
+// the Proposition 1/3/6 recursion re-run with the per-slot sorter
+// depths. The bound is an inequality rather than Proposition 6's
+// exact formula because the builder's earliest-legal layer compaction
+// interleaves adjacent sorter stages; the netcheck tests pin the
+// exact measured depths (and their deltas against family K).
+func ProveKOpt(n *network.Network, factors []int) Proof {
+	p := Proof{Network: n.Name}
+	p.structural(n, core.Product(factors))
+	wb := KOptWidthBound(factors)
+	p.add(fmt.Sprintf("width<=%d", wb), CheckWidthBound(n, wb))
+	d := core.KOptDepthBound(factors)
+	p.add(fmt.Sprintf("depth<=%d", d), CheckDepthAtMost(n, d))
+	return p
+}
+
+// ProveLOpt proves the Lopt variant's structural properties: width
+// p0·…·pn−1, the family-L balancer bound max(pi) (the substituted
+// sorters only narrow gates; the bitonic converters D(p,q) still
+// reach max(p,q)), and depth at most core.LOptDepthBound.
+func ProveLOpt(n *network.Network, factors []int) Proof {
+	p := Proof{Network: n.Name}
+	p.structural(n, core.Product(factors))
+	wb := maxInt(2, core.MaxFactor(factors))
+	p.add(fmt.Sprintf("width<=%d", wb), CheckWidthBound(n, wb))
+	d := core.LOptDepthBound(factors)
+	p.add(fmt.Sprintf("depth<=%d", d), CheckDepthAtMost(n, d))
+	return p
+}
+
+// ProveROpt proves the standalone optimal base Ropt(p,q): when p·q
+// embeds, the network is exactly the table entry — 2-balancers only,
+// depth exactly the table depth (the earliest-legal layering of the
+// table is asserted compact by optnet.Verify, so the built depth must
+// reproduce it). Beyond the table it degrades to R(p,q)'s Section 5.3
+// properties.
+func ProveROpt(n *network.Network, p, q int) Proof {
+	if on, ok := optnet.For(p * q); ok {
+		pr := Proof{Network: n.Name}
+		pr.structural(n, p*q)
+		pr.add("width<=2", CheckWidthBound(n, 2))
+		pr.add(fmt.Sprintf("depth=%d", on.Depth), CheckDepthExact(n, on.Depth))
+		return pr
+	}
+	return ProveR(n, p, q)
 }

@@ -189,3 +189,118 @@ func TestProofReporting(t *testing.T) {
 		t.Fatalf("summary %q does not mark failures", s)
 	}
 }
+
+// TestProveOptVariants statically proves the optimal-base variants
+// over the same factor sweep as the core tests, and records the depth
+// deltas against the constant-base families: for each shape it proves
+// Kopt/Lopt within their additive bounds and pins Ropt's exact depth
+// (the embedded table depth whenever p*q embeds). The deltas make the
+// trade explicit — the opt bases buy 2-wide balancers, not always
+// shallower networks: R(2,8) is depth 5 with an up-to-16-wide
+// balancer but depth 10 as pure 2-balancers, while R(4,4) drops from
+// 12 to 10 and Kopt trades K's single p0·p1-balancer (depth 1) for
+// the table sorter's depth.
+func TestProveOptVariants(t *testing.T) {
+	sweep := [][]int{
+		{2, 2}, {2, 3}, {2, 8}, {3, 3}, {3, 5}, {4, 4},
+		{2, 2, 2}, {2, 2, 3}, {2, 2, 4}, {2, 3, 4}, {3, 3, 3}, {4, 4, 4},
+		{2, 2, 2, 2}, {2, 2, 2, 2, 2},
+		{5, 5}, {6, 6}, // beyond the table: fallback bases
+	}
+	for _, fs := range sweep {
+		ko, err := core.KOpt(fs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p := ProveKOpt(ko, fs); p.Err() != nil {
+			t.Errorf("Kopt%v: %v", fs, p.Err())
+		}
+		lo, err := core.LOpt(fs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p := ProveLOpt(lo, fs); p.Err() != nil {
+			t.Errorf("Lopt%v: %v", fs, p.Err())
+		}
+	}
+
+	// Ropt grid with exact pinned depths next to R's Proposition 10
+	// depth — the recorded delta. ProveROpt asserts the embedded cases
+	// exactly (table depth, 2-balancers only) and the fallback cases
+	// via ProveR.
+	for _, tc := range []struct {
+		p, q            int
+		rDepth, roDepth int
+	}{
+		{2, 2, 3, 3},   // 4 embeds: same depth, already 2-balancers
+		{2, 8, 5, 10},  // 16 embeds: Ropt deeper but 2-wide vs 16-wide
+		{3, 5, 7, 10},  // 15 embeds
+		{4, 4, 12, 10}, // 16 embeds: Ropt shallower AND narrower
+		{4, 5, 14, 14}, // 20 beyond the table: falls back to R(4,5)
+		{5, 5, 16, 16}, // fallback
+		{6, 6, 16, 16}, // fallback
+	} {
+		r, err := core.R(tc.p, tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.Depth(); got != tc.rDepth {
+			t.Errorf("R(%d,%d) depth %d, want %d", tc.p, tc.q, got, tc.rDepth)
+		}
+		ro, err := core.ROpt(tc.p, tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ro.Depth(); got != tc.roDepth {
+			t.Errorf("Ropt(%d,%d) depth %d, want %d", tc.p, tc.q, got, tc.roDepth)
+		}
+		if pr := ProveROpt(ro, tc.p, tc.q); pr.Err() != nil {
+			t.Errorf("Ropt(%d,%d): %v", tc.p, tc.q, pr.Err())
+		}
+	}
+}
+
+// TestProveOptRefutes checks the opt proofs refute wrong networks:
+// proving a constant-base network under the opt claims must fail
+// where the claims genuinely differ.
+func TestProveOptRefutes(t *testing.T) {
+	// K(4,4) is a single 16-wide balancer; Kopt(4,4)'s claim is
+	// 2-balancers only.
+	k, err := core.K(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := ProveKOpt(k, []int{4, 4}); p.Err() == nil {
+		t.Error("K(4,4) accepted as Kopt(4,4): 16-wide balancer not refuted")
+	}
+	// R(2,8) is depth 5 with wide balancers; Ropt(2,8)'s claim is
+	// 2-balancers at exactly the table depth.
+	r, err := core.R(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := ProveROpt(r, 2, 8); p.Err() == nil {
+		t.Error("R(2,8) accepted as Ropt(2,8)")
+	}
+}
+
+// TestKOptWidthBound pins the width-bound helper across embedded and
+// fallback shapes.
+func TestKOptWidthBound(t *testing.T) {
+	for _, tc := range []struct {
+		fs   []int
+		want int
+	}{
+		{[]int{7}, 7},
+		{[]int{2, 2}, 2},
+		{[]int{4, 4}, 2},
+		{[]int{2, 2, 2, 2, 2}, 2},
+		{[]int{5, 5}, 25},
+		{[]int{6, 6}, 36},
+		{[]int{2, 3, 4}, 2}, // all pair products <= 12 embed
+	} {
+		if got := KOptWidthBound(tc.fs); got != tc.want {
+			t.Errorf("KOptWidthBound(%v) = %d, want %d", tc.fs, got, tc.want)
+		}
+	}
+}

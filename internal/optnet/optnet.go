@@ -1,0 +1,187 @@
+// Package optnet embeds verified small-width sorting networks — the
+// comparator sequences behind the generated compare-exchange kernels
+// (internal/runner zkernels.go) and the optimal-base variants of the
+// paper's constructions (core.KOpt/LOpt/ROpt).
+//
+// Each entry lists a width-w comparator network grouped into parallel
+// layers, together with its size (comparator count), depth (layer
+// count) and provenance. Widths 2–8 are at the proven-optimal depth
+// AND size; width 9 matches the best-known joint size/depth point
+// (25 comparators, depth 7); widths 10–16 are within one layer of the
+// proven depth optimum at or near the best-known size (the proven
+// depth optima for 9–16 are those of
+// Bundala & Závodný, "Optimal Sorting Networks", arXiv:1310.6271; the
+// joint size/depth frontier is surveyed by Fonollosa,
+// arXiv:1806.00305). Every entry is verified exhaustively against the
+// 0-1 principle — all 2^w binary patterns — by Verify, which the
+// kernel generator (cmd/kernelgen) and the package tests both run, so
+// an entry that sorts incorrectly or whose declared metadata drifts
+// from its layers cannot ship.
+//
+// Comparators follow the repository's step-property orientation: a
+// compare-exchange on channels (A, B) with A < B routes the LARGER
+// value to channel A, so a full network leaves channel 0 holding the
+// maximum — the descending order produced by every gate in package
+// runner and the ordering in which counting-network outputs satisfy
+// the step property.
+package optnet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MinWidth and MaxWidth bound the embedded table: For(w) succeeds
+// exactly for MinWidth <= w <= MaxWidth.
+const (
+	MinWidth = 2
+	MaxWidth = 16
+)
+
+// Comparator is one compare-exchange between channels A < B. Executed
+// descending: A receives max, B receives min.
+type Comparator struct {
+	A, B int
+}
+
+// Network is one embedded comparator network.
+type Network struct {
+	// Width is the number of channels.
+	Width int
+	// Size is the total comparator count; always equals the sum of
+	// the layer lengths (asserted by Verify).
+	Size int
+	// Depth is the layer count; always equals len(Layers) and the
+	// recomputed earliest-legal layering depth (asserted by Verify).
+	Depth int
+	// OptimalDepth is the proven minimal depth for any sorting
+	// network of this width (Bundala & Závodný for 9–16, classical
+	// results below). Depth == OptimalDepth for widths 2–9.
+	OptimalDepth int
+	// Source records provenance of the comparator list.
+	Source string
+	// Layers groups the comparators into parallel layers: within one
+	// layer no channel is touched twice.
+	Layers [][]Comparator
+}
+
+// For returns the embedded network of the given width, or false when
+// the width is outside [MinWidth, MaxWidth].
+func For(width int) (*Network, bool) {
+	if width < MinWidth || width > MaxWidth {
+		return nil, false
+	}
+	return &table[width-MinWidth], true
+}
+
+// Comparators returns the flattened comparator sequence, layer by
+// layer. The returned slice is fresh; callers may mutate it.
+func (n *Network) Comparators() []Comparator {
+	out := make([]Comparator, 0, n.Size)
+	for _, l := range n.Layers {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// ApplyDesc runs the network over vals (len == Width) in place,
+// sorting descending: vals[0] ends with the maximum.
+func (n *Network) ApplyDesc(vals []int64) {
+	for _, l := range n.Layers {
+		for _, c := range l {
+			a, b := vals[c.A], vals[c.B]
+			if a < b {
+				vals[c.A], vals[c.B] = b, a
+			}
+		}
+	}
+}
+
+// Verify checks the entry end to end: structural soundness (channel
+// ranges, A < B, no channel touched twice within a layer), declared
+// metadata (Size and Depth against the layers, with the layering
+// confirmed maximally compact by recomputing earliest-legal layers),
+// and full 0-1 correctness — all 2^Width binary patterns sort
+// descending, which by the 0-1 principle proves the network sorts
+// every input. It returns the first violation found, or nil.
+func (n *Network) Verify() error {
+	if n.Width < 2 || n.Width > 31 {
+		return fmt.Errorf("optnet: width %d out of range", n.Width)
+	}
+	size := 0
+	chDepth := make([]int, n.Width)
+	for li, layer := range n.Layers {
+		seen := make(map[int]bool, 2*len(layer))
+		for _, c := range layer {
+			if c.A < 0 || c.B >= n.Width || c.A >= c.B {
+				return fmt.Errorf("optnet: width %d layer %d: bad comparator (%d,%d)", n.Width, li, c.A, c.B)
+			}
+			if seen[c.A] || seen[c.B] {
+				return fmt.Errorf("optnet: width %d layer %d: channel reused by (%d,%d)", n.Width, li, c.A, c.B)
+			}
+			seen[c.A], seen[c.B] = true, true
+			// Earliest legal layer for this comparator given the
+			// channels' previous use; a smaller value means the
+			// declared layering is not maximally compacted.
+			el := chDepth[c.A]
+			if chDepth[c.B] > el {
+				el = chDepth[c.B]
+			}
+			if el != li {
+				return fmt.Errorf("optnet: width %d layer %d: comparator (%d,%d) schedulable at layer %d", n.Width, li, c.A, c.B, el)
+			}
+			chDepth[c.A], chDepth[c.B] = li+1, li+1
+			size++
+		}
+	}
+	if size != n.Size {
+		return fmt.Errorf("optnet: width %d declares size %d, layers hold %d", n.Width, n.Size, size)
+	}
+	if len(n.Layers) != n.Depth {
+		return fmt.Errorf("optnet: width %d declares depth %d, has %d layers", n.Width, n.Depth, len(n.Layers))
+	}
+	if n.Depth < n.OptimalDepth {
+		return fmt.Errorf("optnet: width %d declares depth %d below the proven optimum %d", n.Width, n.Depth, n.OptimalDepth)
+	}
+	vals := make([]int64, n.Width)
+	for pat := 0; pat < 1<<n.Width; pat++ {
+		ones := 0
+		for i := range vals {
+			vals[i] = int64(pat>>i) & 1
+			ones += int(vals[i])
+		}
+		n.ApplyDesc(vals)
+		for i, v := range vals {
+			want := int64(0)
+			if i < ones {
+				want = 1
+			}
+			if v != want {
+				return fmt.Errorf("optnet: width %d fails 0-1 pattern %#x at position %d", n.Width, pat, i)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyAll verifies every embedded width and returns the first
+// failure, or nil.
+func VerifyAll() error {
+	for w := MinWidth; w <= MaxWidth; w++ {
+		n, _ := For(w)
+		if err := n.Verify(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Widths lists the embedded widths in increasing order.
+func Widths() []int {
+	out := make([]int, 0, MaxWidth-MinWidth+1)
+	for w := MinWidth; w <= MaxWidth; w++ {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,155 @@
+package optnet
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestVerifyAll is the table's own gate: every embedded width passes
+// structural checks, declared-metadata checks, the earliest-legal
+// layering check and the exhaustive 2^w 0-1 sweep.
+func TestVerifyAll(t *testing.T) {
+	if err := VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTableMetadata pins the size/depth/optimal-depth triple of every
+// width: a silent table edit that changes any of them must show up in
+// review as a test diff, not only as regenerated kernels.
+func TestTableMetadata(t *testing.T) {
+	want := map[int][3]int{ // width -> {size, depth, optimal depth}
+		2:  {1, 1, 1},
+		3:  {3, 3, 3},
+		4:  {5, 3, 3},
+		5:  {9, 5, 5},
+		6:  {12, 5, 5},
+		7:  {16, 6, 6},
+		8:  {19, 6, 6},
+		9:  {25, 7, 7},
+		10: {29, 8, 7},
+		11: {37, 9, 8},
+		12: {41, 9, 8},
+		13: {46, 10, 9},
+		14: {51, 10, 9},
+		15: {56, 10, 9},
+		16: {60, 10, 9},
+	}
+	for w := MinWidth; w <= MaxWidth; w++ {
+		n, ok := For(w)
+		if !ok {
+			t.Fatalf("For(%d) missing", w)
+		}
+		if n.Width != w {
+			t.Fatalf("For(%d) returned width %d", w, n.Width)
+		}
+		got := [3]int{n.Size, n.Depth, n.OptimalDepth}
+		if got != want[w] {
+			t.Errorf("width %d: size/depth/opt = %v, want %v", w, got, want[w])
+		}
+		if n.Source == "" {
+			t.Errorf("width %d: empty Source", w)
+		}
+	}
+	if _, ok := For(MinWidth - 1); ok {
+		t.Error("For(1) should fail")
+	}
+	if _, ok := For(MaxWidth + 1); ok {
+		t.Error("For(17) should fail")
+	}
+}
+
+// TestComparatorsFlatten checks Comparators returns the layers in
+// order and with the declared size.
+func TestComparatorsFlatten(t *testing.T) {
+	for w := MinWidth; w <= MaxWidth; w++ {
+		n, _ := For(w)
+		flat := n.Comparators()
+		if len(flat) != n.Size {
+			t.Fatalf("width %d: %d flattened comparators, size %d", w, len(flat), n.Size)
+		}
+		i := 0
+		for _, l := range n.Layers {
+			for _, c := range l {
+				if flat[i] != c {
+					t.Fatalf("width %d: flattened comparator %d = %v, want %v", w, i, flat[i], c)
+				}
+				i++
+			}
+		}
+	}
+}
+
+// TestApplyDescRandom cross-checks the reference executor against
+// sort.Slice on arbitrary (non-0-1) inputs, including duplicates.
+func TestApplyDescRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for w := MinWidth; w <= MaxWidth; w++ {
+		n, _ := For(w)
+		for trial := 0; trial < 200; trial++ {
+			vals := make([]int64, w)
+			for i := range vals {
+				vals[i] = int64(rng.Intn(8)) // small range forces duplicates
+			}
+			want := append([]int64(nil), vals...)
+			sort.Slice(want, func(i, j int) bool { return want[i] > want[j] })
+			n.ApplyDesc(vals)
+			for i := range vals {
+				if vals[i] != want[i] {
+					t.Fatalf("width %d trial %d: got %v want %v", w, trial, vals, want)
+				}
+			}
+		}
+	}
+}
+
+// TestVerifyCatchesCorruption mutates copies of table entries and
+// checks Verify rejects each corruption class.
+func TestVerifyCatchesCorruption(t *testing.T) {
+	base, _ := For(8)
+	clone := func() *Network {
+		c := *base
+		c.Layers = make([][]Comparator, len(base.Layers))
+		for i, l := range base.Layers {
+			c.Layers[i] = append([]Comparator(nil), l...)
+		}
+		return &c
+	}
+
+	n := clone()
+	n.Layers[2][0] = Comparator{3, 1} // A >= B
+	if n.Verify() == nil {
+		t.Error("inverted comparator not caught")
+	}
+
+	n = clone()
+	n.Layers[0] = append(n.Layers[0], Comparator{0, 1}) // channel reuse in layer
+	if n.Verify() == nil {
+		t.Error("in-layer channel reuse not caught")
+	}
+
+	n = clone()
+	n.Layers[len(n.Layers)-1] = n.Layers[len(n.Layers)-1][:1] // drop comparators
+	if n.Verify() == nil {
+		t.Error("size drift not caught")
+	}
+
+	n = clone()
+	// Append a redundant layer: the extra comparator is schedulable
+	// earlier than its declared layer (channels 0 and 7 are idle
+	// after layer 3), so the compaction check must reject it.
+	n.Layers = append(n.Layers, []Comparator{{0, 7}})
+	n.Size++
+	n.Depth++
+	if n.Verify() == nil {
+		t.Error("non-compact layering not caught")
+	}
+}
+
+func TestWidths(t *testing.T) {
+	ws := Widths()
+	if len(ws) != MaxWidth-MinWidth+1 || ws[0] != MinWidth || ws[len(ws)-1] != MaxWidth {
+		t.Fatalf("Widths() = %v", ws)
+	}
+}

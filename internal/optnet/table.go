@@ -1,0 +1,225 @@
+package optnet
+
+// The embedded table. Layer lists use the ascending (A,B) A<B form;
+// execution (ApplyDesc, the generated kernels, the construction-layer
+// bases) routes max to A, giving the repository's descending/step
+// orientation.
+//
+// Provenance, by width:
+//
+//   - 2–4: the classical optimal networks (Knuth, TAOCP vol. 3,
+//     section 5.3.4); optimal in both size and depth.
+//   - 5–8: best-known networks achieving optimal size AND depth
+//     (Knuth, TAOCP vol. 3, Fig. 47/49 family); depth optimality for
+//     these widths is classical.
+//   - 9: 25-comparator, depth-7 network — the joint size/depth
+//     optimum (depth optimality: Bundala & Závodný, arXiv:1310.6271;
+//     joint frontier: Fonollosa, arXiv:1806.00305).
+//   - 10: 29-comparator, depth-8 network found by in-repo local
+//     search (hill-climbing over exhaustively verified candidates);
+//     matches the optimal size, one layer above the proven depth
+//     optimum of 7.
+//   - 11–15: networks derived from Green's 16-channel sorter by
+//     repeated last-channel deletion (deleting every comparator on
+//     the top channel of an n-sorter leaves an (n-1)-sorter) followed
+//     by local-search compaction; all exhaustively verified.
+//   - 16: Green's 60-comparator sorter (Green 1969; Knuth, TAOCP
+//     vol. 3, Fig. 49), depth 10 — still the best-known size; the
+//     proven depth optimum is 9 (Bundala & Závodný).
+//
+// Every entry is re-verified exhaustively (all 2^w binary patterns)
+// by Verify; see optnet_test.go and cmd/kernelgen.
+var table = [MaxWidth - MinWidth + 1]Network{
+	{
+		Width: 2, Size: 1, Depth: 1, OptimalDepth: 1,
+		Source: "trivial",
+		Layers: [][]Comparator{
+			{{0, 1}},
+		},
+	},
+	{
+		Width: 3, Size: 3, Depth: 3, OptimalDepth: 3,
+		Source: "Knuth TAOCP 5.3.4 (optimal size and depth)",
+		Layers: [][]Comparator{
+			{{0, 1}},
+			{{1, 2}},
+			{{0, 1}},
+		},
+	},
+	{
+		Width: 4, Size: 5, Depth: 3, OptimalDepth: 3,
+		Source: "Knuth TAOCP 5.3.4 (optimal size and depth)",
+		Layers: [][]Comparator{
+			{{0, 1}, {2, 3}},
+			{{0, 2}, {1, 3}},
+			{{1, 2}},
+		},
+	},
+	{
+		Width: 5, Size: 9, Depth: 5, OptimalDepth: 5,
+		Source: "Knuth TAOCP 5.3.4 (optimal size and depth)",
+		Layers: [][]Comparator{
+			{{0, 3}, {1, 4}},
+			{{0, 2}, {1, 3}},
+			{{0, 1}, {2, 4}},
+			{{1, 2}, {3, 4}},
+			{{2, 3}},
+		},
+	},
+	{
+		Width: 6, Size: 12, Depth: 5, OptimalDepth: 5,
+		Source: "Knuth TAOCP 5.3.4 (optimal size and depth)",
+		Layers: [][]Comparator{
+			{{0, 5}, {1, 3}, {2, 4}},
+			{{1, 2}, {3, 4}},
+			{{0, 3}, {2, 5}},
+			{{0, 1}, {2, 3}, {4, 5}},
+			{{1, 2}, {3, 4}},
+		},
+	},
+	{
+		Width: 7, Size: 16, Depth: 6, OptimalDepth: 6,
+		Source: "Knuth TAOCP 5.3.4 (optimal size and depth)",
+		Layers: [][]Comparator{
+			{{0, 6}, {2, 3}, {4, 5}},
+			{{0, 2}, {1, 4}, {3, 6}},
+			{{0, 1}, {2, 5}, {3, 4}},
+			{{1, 2}, {4, 6}},
+			{{2, 3}, {4, 5}},
+			{{1, 2}, {3, 4}, {5, 6}},
+		},
+	},
+	{
+		Width: 8, Size: 19, Depth: 6, OptimalDepth: 6,
+		Source: "Knuth TAOCP 5.3.4 (optimal size and depth)",
+		Layers: [][]Comparator{
+			{{0, 2}, {1, 3}, {4, 6}, {5, 7}},
+			{{0, 4}, {1, 5}, {2, 6}, {3, 7}},
+			{{0, 1}, {2, 3}, {4, 5}, {6, 7}},
+			{{2, 4}, {3, 5}},
+			{{1, 4}, {3, 6}},
+			{{1, 2}, {3, 4}, {5, 6}},
+		},
+	},
+	{
+		Width: 9, Size: 25, Depth: 7, OptimalDepth: 7,
+		Source: "joint size/depth optimum (Bundala-Zavodny arXiv:1310.6271; Fonollosa arXiv:1806.00305)",
+		Layers: [][]Comparator{
+			{{0, 3}, {1, 7}, {2, 5}, {4, 8}},
+			{{0, 7}, {2, 4}, {3, 8}, {5, 6}},
+			{{0, 2}, {1, 3}, {4, 5}, {7, 8}},
+			{{1, 4}, {3, 6}, {5, 7}},
+			{{0, 1}, {2, 4}, {3, 5}, {6, 8}},
+			{{2, 3}, {4, 5}, {6, 7}},
+			{{1, 2}, {3, 4}, {5, 6}},
+		},
+	},
+	{
+		Width: 10, Size: 29, Depth: 8, OptimalDepth: 7,
+		Source: "in-repo local search, optimal size (proven depth optimum 7: Bundala-Zavodny)",
+		Layers: [][]Comparator{
+			{{0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9}},
+			{{0, 3}, {1, 4}, {5, 8}, {7, 9}},
+			{{0, 2}, {5, 7}, {6, 9}},
+			{{0, 1}, {2, 4}, {3, 6}, {8, 9}},
+			{{1, 2}, {3, 5}, {4, 6}, {7, 8}},
+			{{1, 3}, {2, 5}, {4, 7}, {6, 8}},
+			{{2, 3}, {4, 5}, {6, 7}},
+			{{3, 4}, {5, 6}},
+		},
+	},
+	{
+		Width: 11, Size: 37, Depth: 9, OptimalDepth: 8,
+		Source: "in-repo depth-targeted search (depth 9, one above the proven optimum 8; best-known size is 35)",
+		Layers: [][]Comparator{
+			{{0, 1}, {2, 3}, {4, 5}, {6, 7}, {8, 9}},
+			{{0, 2}, {1, 3}, {4, 6}, {5, 7}, {8, 10}},
+			{{0, 4}, {1, 5}, {2, 6}, {3, 7}},
+			{{0, 8}, {1, 9}, {2, 10}},
+			{{1, 2}, {4, 8}, {5, 10}, {6, 9}},
+			{{1, 4}, {3, 8}, {5, 6}, {7, 9}},
+			{{2, 4}, {3, 5}, {6, 10}, {7, 8}},
+			{{2, 3}, {4, 5}, {6, 7}, {8, 10}},
+			{{3, 4}, {5, 6}, {7, 8}, {9, 10}},
+		},
+	},
+	{
+		Width: 12, Size: 41, Depth: 9, OptimalDepth: 8,
+		Source: "in-repo depth-targeted search (depth 9, one above the proven optimum 8; best-known size is 39)",
+		Layers: [][]Comparator{
+			{{0, 1}, {2, 3}, {4, 5}, {6, 7}, {8, 9}, {10, 11}},
+			{{0, 2}, {1, 3}, {4, 6}, {5, 7}, {8, 10}, {9, 11}},
+			{{0, 4}, {1, 5}, {2, 6}, {3, 7}},
+			{{0, 8}, {1, 9}, {2, 10}, {3, 11}},
+			{{1, 2}, {4, 8}, {5, 10}, {6, 9}, {7, 11}},
+			{{2, 4}, {3, 8}, {5, 6}, {9, 10}},
+			{{1, 2}, {3, 4}, {6, 8}, {7, 9}},
+			{{2, 3}, {4, 5}, {6, 7}, {8, 10}},
+			{{3, 4}, {5, 6}, {7, 8}, {9, 10}},
+		},
+	},
+	{
+		Width: 13, Size: 46, Depth: 10, OptimalDepth: 9,
+		Source: "Green-16 channel deletion + local-search compaction (proven depth optimum 9)",
+		Layers: [][]Comparator{
+			{{0, 1}, {2, 3}, {4, 5}, {6, 7}, {8, 9}, {10, 11}},
+			{{0, 2}, {1, 3}, {4, 6}, {5, 7}, {8, 10}, {9, 11}},
+			{{0, 4}, {1, 5}, {2, 6}, {3, 7}, {8, 12}},
+			{{0, 8}, {1, 9}, {2, 10}, {3, 11}, {4, 12}},
+			{{1, 2}, {3, 12}, {4, 8}, {5, 10}, {6, 9}, {7, 11}},
+			{{1, 4}, {2, 8}, {5, 6}, {7, 12}, {9, 10}},
+			{{2, 4}, {3, 8}, {7, 9}, {10, 12}},
+			{{3, 5}, {6, 8}, {9, 10}, {11, 12}},
+			{{3, 4}, {5, 6}, {7, 8}},
+			{{6, 7}, {8, 9}},
+		},
+	},
+	{
+		Width: 14, Size: 51, Depth: 10, OptimalDepth: 9,
+		Source: "Green-16 channel deletion + local-search compaction (proven depth optimum 9)",
+		Layers: [][]Comparator{
+			{{0, 1}, {2, 3}, {4, 5}, {6, 7}, {8, 9}, {10, 11}, {12, 13}},
+			{{0, 2}, {1, 3}, {4, 6}, {5, 7}, {8, 10}, {9, 11}},
+			{{0, 4}, {1, 5}, {2, 6}, {3, 7}, {8, 12}, {9, 13}},
+			{{0, 8}, {1, 9}, {2, 10}, {3, 11}, {4, 12}, {5, 13}},
+			{{1, 2}, {3, 12}, {4, 8}, {5, 10}, {6, 9}, {7, 11}},
+			{{1, 4}, {2, 8}, {5, 6}, {7, 13}, {9, 10}},
+			{{2, 4}, {3, 8}, {7, 12}, {11, 13}},
+			{{3, 5}, {6, 8}, {7, 9}, {10, 12}},
+			{{3, 4}, {5, 6}, {7, 8}, {9, 10}, {11, 12}},
+			{{6, 7}, {8, 9}},
+		},
+	},
+	{
+		Width: 15, Size: 56, Depth: 10, OptimalDepth: 9,
+		Source: "Green-16 channel deletion + local-search compaction (proven depth optimum 9)",
+		Layers: [][]Comparator{
+			{{0, 1}, {2, 3}, {4, 5}, {6, 7}, {8, 9}, {10, 11}, {12, 13}},
+			{{0, 2}, {1, 3}, {4, 6}, {5, 7}, {8, 10}, {9, 11}, {12, 14}},
+			{{0, 4}, {1, 5}, {2, 6}, {3, 7}, {8, 12}, {9, 13}, {10, 14}},
+			{{0, 8}, {1, 9}, {2, 10}, {3, 11}, {4, 12}, {5, 13}, {6, 14}},
+			{{1, 2}, {3, 12}, {4, 8}, {5, 10}, {6, 9}, {7, 11}, {13, 14}},
+			{{1, 4}, {2, 8}, {5, 6}, {7, 13}, {9, 10}, {11, 14}},
+			{{2, 4}, {3, 8}, {7, 12}, {11, 13}},
+			{{3, 5}, {6, 8}, {7, 9}, {10, 12}},
+			{{3, 4}, {5, 6}, {7, 8}, {9, 10}, {11, 12}},
+			{{6, 7}, {8, 9}},
+		},
+	},
+	{
+		Width: 16, Size: 60, Depth: 10, OptimalDepth: 9,
+		Source: "Green 1969 (Knuth TAOCP Fig. 49); best-known size 60, proven depth optimum 9",
+		Layers: [][]Comparator{
+			{{0, 1}, {2, 3}, {4, 5}, {6, 7}, {8, 9}, {10, 11}, {12, 13}, {14, 15}},
+			{{0, 2}, {1, 3}, {4, 6}, {5, 7}, {8, 10}, {9, 11}, {12, 14}, {13, 15}},
+			{{0, 4}, {1, 5}, {2, 6}, {3, 7}, {8, 12}, {9, 13}, {10, 14}, {11, 15}},
+			{{0, 8}, {1, 9}, {2, 10}, {3, 11}, {4, 12}, {5, 13}, {6, 14}, {7, 15}},
+			{{1, 2}, {3, 12}, {4, 8}, {5, 10}, {6, 9}, {7, 11}, {13, 14}},
+			{{1, 4}, {2, 8}, {5, 6}, {7, 13}, {9, 10}, {11, 14}},
+			{{2, 4}, {3, 8}, {7, 12}, {11, 13}},
+			{{3, 5}, {6, 8}, {7, 9}, {10, 12}},
+			{{3, 4}, {5, 6}, {7, 8}, {9, 10}, {11, 12}},
+			{{6, 7}, {8, 9}},
+		},
+	},
+}

@@ -162,7 +162,16 @@ func (a *Async) Traverse(entryWire int) int {
 	for gid >= 0 {
 		g := &a.gates[gid]
 		i := a.hot[gid].count.Add(1) - 1
-		port := i % g.width
+		// Same pow2 fast path as the batch engine (batch.go): the AND
+		// replaces a 64-bit DIV on the single hottest instruction of
+		// the traversal loop. Counters are non-negative, so mask and
+		// modulo agree; TestTraverseMaskVsModulo pins the equality.
+		var port int64
+		if m := g.mask; m >= 0 {
+			port = i & m
+		} else {
+			port = i % g.width
+		}
 		wire = g.wires[port]
 		gid = g.next[port]
 	}
@@ -183,7 +192,13 @@ func (a *Async) traverseObs(entryWire int, o *obs.NetObs) int {
 		g := &a.gates[gid]
 		o.GateToken(gid)
 		i := a.hot[gid].count.Add(1) - 1
-		port := i % g.width
+		// Pow2 fast path, matching Traverse exactly.
+		var port int64
+		if m := g.mask; m >= 0 {
+			port = i & m
+		} else {
+			port = i % g.width
+		}
 		wire = g.wires[port]
 		gid = g.next[port]
 	}
@@ -213,7 +228,14 @@ func (a *Async) TraverseHooked(entryWire int, yield func(op string)) int {
 			o.GateToken(gid)
 		}
 		i := a.hot[gid].count.Add(1) - 1
-		port := i % g.width
+		// Pow2 fast path, matching Traverse exactly — a controlled
+		// schedule replays identically whichever path computed the port.
+		var port int64
+		if m := g.mask; m >= 0 {
+			port = i & m
+		} else {
+			port = i % g.width
+		}
 		wire = g.wires[port]
 		gid = g.next[port]
 	}
@@ -222,6 +244,9 @@ func (a *Async) TraverseHooked(entryWire int, yield func(op string)) int {
 
 // TraverseMutex is Traverse with lock-based balancers. The two modes
 // share no state; do not mix them on one Async instance within a run.
+// The lock path keeps the plain modulo port computation: it is a
+// measurement baseline, not a hot path, and the independent arithmetic
+// makes it an oracle for the mask fast path in the atomic traversals.
 func (a *Async) TraverseMutex(entryWire int) int {
 	if o := a.watch; o != nil {
 		return a.traverseMutexObs(entryWire, o)

@@ -1,0 +1,46 @@
+package runner
+
+import (
+	"encoding/binary"
+	"sort"
+	"testing"
+)
+
+// FuzzKernelVsSort drives every generated kernel width (5..16) with
+// arbitrary int64 inputs decoded from the fuzz data and checks the
+// kernel output against the stdlib sort, descending. Registered in
+// the Makefile fuzz targets and the CI fuzz-smoke job.
+func FuzzKernelVsSort(f *testing.F) {
+	f.Add(uint8(0), []byte{})
+	f.Add(uint8(3), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Add(uint8(11), []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f, 1, 0, 0, 0, 0, 0, 0, 0x80})
+	f.Fuzz(func(t *testing.T, sel uint8, data []byte) {
+		w := 5 + int(sel)%(maxKernelWidth-4)
+		kern := wideKernel[w]
+		if kern == nil {
+			t.Fatalf("no kernel for width %d", w)
+		}
+		vals := make([]int64, w)
+		for i := range vals {
+			if len(data) >= 8 {
+				vals[i] = int64(binary.LittleEndian.Uint64(data[:8]))
+				data = data[8:]
+			} else if len(data) > 0 {
+				vals[i] = int64(data[0]) - 128
+				data = data[1:]
+			}
+		}
+		want := append([]int64(nil), vals...)
+		sort.Slice(want, func(i, j int) bool { return want[i] > want[j] })
+		wires := make([]int32, w)
+		for i := range wires {
+			wires[i] = int32(i)
+		}
+		kern(vals, wires)
+		for i := range vals {
+			if vals[i] != want[i] {
+				t.Fatalf("width %d: kernel %v, stdlib sort %v", w, vals, want)
+			}
+		}
+	})
+}

@@ -8,6 +8,11 @@ import (
 	"countnet/internal/network"
 )
 
+// The straight-line compare-exchange kernels for gate widths 5..16
+// (zkernels.go) are generated from the verified sorting-network table
+// in internal/optnet. make generate-check gates drift in CI.
+//go:generate go run countnet/cmd/kernelgen -out zkernels.go
+
 // Plan is a network compiled for comparator-semantics execution: a flat
 // structure-of-arrays form with int32 wire indices, gates grouped by
 // layer, and the dominant 2-comparators segregated from wide gates so
@@ -45,6 +50,13 @@ type Plan struct {
 
 	out      []int32 // output position -> wire
 	outIdent bool
+
+	// noKernels forces the gather/insertion-sort/scatter path for
+	// every gate wider than 4, disabling the generated straight-line
+	// kernels (zkernels.go). Off in production; the differential
+	// tests and the kernel-vs-fallback benchmarks flip it via
+	// SetWideKernels to pin both engines against each other.
+	noKernels bool
 }
 
 // CompilePlan compiles the network once; the result may be reused for
@@ -89,6 +101,15 @@ func CompilePlan(net *network.Network) *Plan {
 
 // Width returns the batch size the plan executes.
 func (p *Plan) Width() int { return p.width }
+
+// SetWideKernels toggles the generated straight-line kernels for wide
+// gates of width 5..16 (on by default). With on=false every gate
+// wider than 4 takes the gather/insertion-sort/scatter path — the
+// reference engine the kernels are differential-tested and
+// benchmarked against. Call before the plan is shared: the flag is
+// read by concurrent Apply/ApplyBatches/Parallel runs without
+// synchronization.
+func (p *Plan) SetWideKernels(on bool) { p.noKernels = !on }
 
 // NumLayers returns the number of compiled layers (the network depth).
 func (p *Plan) NumLayers() int { return p.numLayers }
@@ -147,8 +168,10 @@ func (p *Plan) runLayer(l int, vals, gate []int64) {
 
 // runWide applies wide gates [g0,g1) to vals. Widths 3 and 4 — the
 // bulk of every small-factor construction — run as fixed
-// compare-exchange networks on registers; wider gates gather into the
-// scratch buffer and insertion-sort.
+// compare-exchange networks on registers; widths 5..16 dispatch to
+// the generated straight-line kernels (zkernels.go, built from the
+// verified internal/optnet table); only gates wider than
+// maxKernelWidth gather into the scratch buffer and insertion-sort.
 func (p *Plan) runWide(g0, g1 int, vals, gate []int64) {
 	for g := g0; g < g1; g++ {
 		wires := p.wideWires[p.wideOff[g]:p.wideOff[g+1]]
@@ -170,6 +193,10 @@ func (p *Plan) runWide(g0, g1 int, vals, gate []int64) {
 			vb, vc = max(vb, vc), min(vb, vc)
 			vals[a], vals[b], vals[c], vals[d] = va, vb, vc, vd
 		default:
+			if len(wires) <= maxKernelWidth && !p.noKernels {
+				wideKernel[len(wires)](vals, wires)
+				continue
+			}
 			t := gate[:len(wires)]
 			for i, w := range wires {
 				t[i] = vals[w]
