@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench bench-plan bench-counter bench-obs bench-scenarios bench-smoke obs-smoke scenario-smoke fuzz soak vet fmt lint netvet generate generate-check experiments examples clean
+.PHONY: all build test race short bench bench-plan bench-counter bench-obs bench-adaptive bench-scenarios bench-smoke obs-smoke scenario-smoke fuzz soak vet fmt lint netvet generate generate-check experiments examples clean
 
 all: build vet test
 
@@ -88,6 +88,24 @@ bench-obs:
 		| $(GO) run ./cmd/benchjson -out BENCH_obs.json -set current -overhead \
 			-note "obs=off lanes must track BenchmarkTraverseParallel/BenchmarkCounterCombining within noise (<=2%)"
 
+# Adaptive-engine load sweep (docs/PERFORMANCE.md, "Adaptive engine"):
+# countbench -sweep walks g ∈ {1,2,4,8,16,32} over the width-16
+# network and emits benchmark lines straight into benchjson. Two
+# passes share one result set: the per-value lanes (atomic / network /
+# adaptive, the request pattern of a live ID server) and the block-64
+# lanes (combining-block64 / adaptive-block64, the batched pattern the
+# crossover study used). Acceptance: adaptive within 15% of the best
+# static lane at every g, and >=1.5x the worst static at the
+# endpoints.
+bench-adaptive:
+	$(GO) build -o bin/countbench ./cmd/countbench
+	( ./bin/countbench -sweep -width 16 -duration 150ms -repeat 3 \
+		-counter atomic,mutex,network,adaptive ; \
+	  ./bin/countbench -sweep -width 16 -duration 150ms -repeat 3 \
+		-counter combining,adaptive -block 64 ) \
+		| $(GO) run ./cmd/benchjson -out BENCH_adaptive.json -set current \
+			-note "countbench -sweep, width 16, g=1..32; per-value lanes at block 1, batched lanes at block 64; ns/op is per value"
+
 # One-iteration smoke of the same lanes for CI: proves the benchmarks
 # and the JSON tooling run, without timing anything.
 bench-smoke:
@@ -97,6 +115,12 @@ bench-smoke:
 		| $(GO) run ./cmd/benchjson -out /tmp/bench_counter_smoke.json -set smoke
 	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchmem -benchtime 1x . \
 		| $(GO) run ./cmd/benchjson -out /tmp/bench_obs_smoke.json -set smoke -overhead
+	$(GO) build -o bin/countbench ./cmd/countbench
+	( ./bin/countbench -sweep -width 4 -duration 5ms -repeat 1 -goroutines 1,2 \
+		-counter atomic,adaptive ; \
+	  ./bin/countbench -sweep -width 4 -duration 5ms -repeat 1 -goroutines 1,2 \
+		-counter combining,adaptive -block 64 ) \
+		| $(GO) run ./cmd/benchjson -out /tmp/bench_adaptive_smoke.json -set smoke
 
 # End-to-end observability smoke: countbench serves the obs endpoint
 # while netmon scrapes and validates /snapshot, /metrics and
@@ -148,6 +172,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzKernelVsSort -fuzztime=30s ./internal/runner
 	$(GO) test -fuzz=FuzzJSONUnmarshal -fuzztime=30s ./internal/network
 	$(GO) test -run '^$$' -fuzz=FuzzCounterSchedules -fuzztime=30s ./internal/counter
+	$(GO) test -run '^$$' -fuzz=FuzzAdaptiveSchedules -fuzztime=30s ./internal/counter
 	$(GO) test -run '^$$' -fuzz=FuzzPoolSchedules -fuzztime=30s ./internal/pool
 
 # Nightly-scale schedule exploration (see docs/TESTING.md).

@@ -29,6 +29,7 @@ type config struct {
 	SyncURL  string
 	WorkerID string
 
+	Sweep  bool
 	Obs    bool
 	Linger bool
 	Worker bool
@@ -37,9 +38,15 @@ type config struct {
 // knownCounters and knownEngines are the accepted flag values; keep
 // the usage strings below in sync.
 var (
-	knownCounters = []string{"atomic", "mutex", "network", "network-mutex", "combining"}
+	knownCounters = []string{"atomic", "mutex", "network", "network-mutex", "combining", "adaptive"}
 	knownEngines  = []string{"gates", "plan", "parallel"}
 )
+
+// sweepGoroutineSteps is the default goroutine ladder for -sweep: the
+// fixed g ∈ {1,2,4,8,16,32} grid of BENCH_adaptive.json, machine-
+// independent so committed sweeps stay comparable (the table mode's
+// default still scales with GOMAXPROCS).
+var sweepGoroutineSteps = []int{1, 2, 4, 8, 16, 32}
 
 // parseConfig parses and validates the command line. The returned
 // error already includes the flag usage text, so main only prints it
@@ -54,8 +61,9 @@ func parseConfig(args []string) (*config, error) {
 	fs.IntVar(&cfg.Width, "width", 16, "counting network width (all factorizations are swept)")
 	fs.DurationVar(&cfg.Duration, "duration", 100*time.Millisecond, "measurement window per cell")
 	fs.StringVar(&goroutines, "goroutines", "", "comma-separated goroutine counts (default: 1,2,4,... to 2x GOMAXPROCS)")
-	fs.StringVar(&counters, "counter", strings.Join(knownCounters[:3], ",")+",combining",
+	fs.StringVar(&counters, "counter", "atomic,mutex,network,combining,adaptive",
 		"comma-separated counter engines: "+strings.Join(knownCounters, ", "))
+	fs.BoolVar(&cfg.Sweep, "sweep", false, "emit one benchmark-format line per (counter, goroutines) cell for cmd/benchjson instead of the tables; default goroutines become 1,2,4,8,16,32 (docs/PERFORMANCE.md)")
 	fs.IntVar(&cfg.Block, "block", 1, "values drawn per operation (NextBlock when > 1); throughput counts values/sec")
 	fs.IntVar(&cfg.Repeat, "repeat", 3, "measurements per cell; cells report mean and relative stddev")
 	fs.StringVar(&cfg.Engine, "engine", "plan", "batch-sort engine: "+strings.Join(knownEngines, ", "))
@@ -79,6 +87,9 @@ func parseConfig(args []string) (*config, error) {
 	}
 
 	if cfg.Worker {
+		if cfg.Sweep {
+			return fail("-sweep does not apply with -worker")
+		}
 		if cfg.SyncURL == "" {
 			return fail("-worker needs -sync URL")
 		}
@@ -123,6 +134,9 @@ func parseConfig(args []string) (*config, error) {
 			}
 			cfg.Goroutines = append(cfg.Goroutines, v)
 		}
+	}
+	if cfg.Sweep && cfg.Goroutines == nil {
+		cfg.Goroutines = append([]int(nil), sweepGoroutineSteps...)
 	}
 	if cfg.Repeat < 1 {
 		cfg.Repeat = 1

@@ -62,6 +62,48 @@ func TestParseConfig(t *testing.T) {
 			},
 		},
 		{
+			name: "sweep defaults to the fixed goroutine ladder",
+			args: []string{"-sweep"},
+			check: func(t *testing.T, cfg *config) {
+				if !cfg.Sweep {
+					t.Fatal("-sweep not recorded")
+				}
+				want := []int{1, 2, 4, 8, 16, 32}
+				if len(cfg.Goroutines) != len(want) {
+					t.Fatalf("sweep goroutines = %v, want %v", cfg.Goroutines, want)
+				}
+				for i, g := range want {
+					if cfg.Goroutines[i] != g {
+						t.Fatalf("sweep goroutines = %v, want %v", cfg.Goroutines, want)
+					}
+				}
+				if !cfg.Counters["adaptive"] {
+					t.Fatalf("default counters lack adaptive: %v", cfg.Counters)
+				}
+			},
+		},
+		{
+			name: "sweep respects explicit goroutines",
+			args: []string{"-sweep", "-goroutines", "3,5", "-counter", "adaptive"},
+			check: func(t *testing.T, cfg *config) {
+				if len(cfg.Goroutines) != 2 || cfg.Goroutines[0] != 3 || cfg.Goroutines[1] != 5 {
+					t.Fatalf("goroutines = %v, want [3 5]", cfg.Goroutines)
+				}
+				if len(cfg.Counters) != 1 || !cfg.Counters["adaptive"] {
+					t.Fatalf("counters = %v, want adaptive only", cfg.Counters)
+				}
+			},
+		},
+		{
+			name: "adaptive is a known counter",
+			args: []string{"-counter", "adaptive,atomic"},
+			check: func(t *testing.T, cfg *config) {
+				if len(cfg.Counters) != 2 || !cfg.Counters["adaptive"] || !cfg.Counters["atomic"] {
+					t.Fatalf("counters = %v", cfg.Counters)
+				}
+			},
+		},
+		{
 			name: "worker mode",
 			args: []string{"-worker", "-sync", "http://127.0.0.1:9", "-id", "w3"},
 			check: func(t *testing.T, cfg *config) {
@@ -76,6 +118,7 @@ func TestParseConfig(t *testing.T) {
 		{name: "positional junk", args: []string{"16"}, wantErr: `unexpected argument "16"`},
 		{name: "bad goroutine count", args: []string{"-goroutines", "1,zero"}, wantErr: `bad goroutine count "zero"`},
 		{name: "zero goroutine count", args: []string{"-goroutines", "0"}, wantErr: "bad goroutine count"},
+		{name: "sweep with worker", args: []string{"-worker", "-sweep", "-sync", "http://x", "-id", "w0"}, wantErr: "-sweep does not apply with -worker"},
 		{name: "worker without sync", args: []string{"-worker", "-id", "w0"}, wantErr: "-worker needs -sync"},
 		{name: "worker without id", args: []string{"-worker", "-sync", "http://x"}, wantErr: "-worker needs -id"},
 		{name: "sync without worker", args: []string{"-sync", "http://x"}, wantErr: "only apply with -worker"},

@@ -12,7 +12,9 @@
 //	countbench -width 32 -duration 200ms      # wider network, longer windows
 //	countbench -goroutines 1,4,16             # explicit thread counts
 //	countbench -counter network,combining     # choose counter engines
+//	countbench -counter adaptive              # obs-driven adaptive front-end
 //	countbench -counter combining -block 16   # block requests (values/sec)
+//	countbench -sweep -goroutines 1,4,16      # benchmark lines for benchjson
 //	countbench -engine gates                  # sort via the gate-list walker
 //	countbench -obs                           # record + print per-balancer metrics
 //	countbench -obs -http :8720 -linger       # keep serving /snapshot, /metrics
@@ -76,15 +78,6 @@ func main() {
 		return
 	}
 
-	width, duration, repeat, block := cfg.Width, cfg.Duration, cfg.Repeat, cfg.Block
-	sortBatch, linger := cfg.SortBatch, cfg.Linger
-	want := cfg.Counters
-
-	steps := cfg.Goroutines
-	if steps == nil {
-		steps = bench.DefaultGoroutineSteps()
-	}
-
 	var srv *obs.Server
 	if cfg.HTTPAddr != "" {
 		var err error
@@ -94,6 +87,55 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "countbench: observability endpoint on http://%s/ (/snapshot, /metrics, /debug/vars)\n", srv.Addr())
+	}
+
+	if cfg.Sweep {
+		if err := runSweep(ctx, cfg, os.Stdout); err != nil && ctx.Err() == nil {
+			fmt.Fprintln(os.Stderr, "countbench:", err)
+			os.Exit(1)
+		}
+	} else {
+		runTables(ctx, cfg)
+	}
+
+	if cfg.Linger && srv != nil && ctx.Err() == nil {
+		fmt.Fprintf(os.Stderr, "countbench: sweep done; still serving on http://%s/ — interrupt to exit\n", srv.Addr())
+		<-ctx.Done()
+	}
+
+	// Flush the final observability snapshot before the endpoint goes
+	// away, so interrupted soak runs still leave their metrics behind.
+	if cfg.Obs {
+		fmt.Println()
+		fmt.Print(obs.RenderTable(nil, obs.Default.Snapshot(), 0))
+	}
+	if srv != nil {
+		shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "countbench: shutdown:", err)
+		}
+	}
+}
+
+// runTables is the interactive mode: the Fetch&Increment throughput
+// table over every factorization of the width, then the batch-sort
+// table.
+func runTables(ctx context.Context, cfg *config) {
+	width, duration, repeat, block := cfg.Width, cfg.Duration, cfg.Repeat, cfg.Block
+	sortBatch := cfg.SortBatch
+	want := cfg.Counters
+
+	steps := cfg.Goroutines
+	if steps == nil {
+		steps = bench.DefaultGoroutineSteps()
+	}
+
+	// The adaptive governor reads the obs signals even when the user
+	// did not ask for the obs table; give it a private registry then.
+	adaptReg := obs.Default
+	if !cfg.Obs {
+		adaptReg = obs.NewRegistry()
 	}
 
 	tbl := &bench.Table{
@@ -121,10 +163,14 @@ func main() {
 				}
 				var rate float64
 				obs.Do(name, phase, func() {
-					rate = bench.MeasureCounter(mk(), bench.ThroughputOptions{
+					c := mk()
+					rate = bench.MeasureCounter(c, bench.ThroughputOptions{
 						Goroutines: g, Duration: duration, Block: block,
 						Interrupt: ctx.Done(),
 					})
+					if cl, ok := c.(interface{ Close() }); ok {
+						cl.Close() // stop the adaptive governor
+					}
 				})
 				return rate
 			})
@@ -179,6 +225,16 @@ func main() {
 				return c
 			})
 		}
+		if want["adaptive"] {
+			measure(name+" (adaptive)", func() counter.Counter {
+				c := counter.NewAdaptiveCounter(net, counter.EngineAtomic, nil)
+				c.EnableObs(base+".adaptive", adaptReg)
+				if err := c.StartGovernor(); err != nil {
+					panic(err) // unreachable: obs was just enabled
+				}
+				return c
+			})
+		}
 	}
 	tbl.Fprint(os.Stdout)
 	fmt.Println()
@@ -199,25 +255,6 @@ func main() {
 			sortTbl.AddRow(fmt.Sprintf("L[%s]", join(fs)), net.Depth(), net.Size(), fmt.Sprint(ns))
 		}
 		sortTbl.Fprint(os.Stdout)
-	}
-
-	if linger && srv != nil && ctx.Err() == nil {
-		fmt.Fprintf(os.Stderr, "countbench: sweep done; still serving on http://%s/ — interrupt to exit\n", srv.Addr())
-		<-ctx.Done()
-	}
-
-	// Flush the final observability snapshot before the endpoint goes
-	// away, so interrupted soak runs still leave their metrics behind.
-	if cfg.Obs {
-		fmt.Println()
-		fmt.Print(obs.RenderTable(nil, obs.Default.Snapshot(), 0))
-	}
-	if srv != nil {
-		shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(shCtx); err != nil {
-			fmt.Fprintln(os.Stderr, "countbench: shutdown:", err)
-		}
 	}
 }
 

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRunSweepEmitsBenchmarkLines: the sweep output must be exactly
+// what cmd/benchjson parses — one "BenchmarkCounterSweep/<lane>/g=<g>"
+// line per (counter, goroutines) cell, with an integer iteration count
+// and value/unit pairs — for every counter mode including adaptive.
+func TestRunSweepEmitsBenchmarkLines(t *testing.T) {
+	cfg, err := parseConfig([]string{
+		"-sweep", "-width", "4", "-duration", "5ms", "-repeat", "1",
+		"-goroutines", "1,2", "-counter", "atomic,network,combining,adaptive",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := runSweep(context.Background(), cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, line := range strings.Split(out.String(), "\n") {
+		if strings.HasPrefix(line, "Benchmark") {
+			lines = append(lines, line)
+		}
+	}
+	want := []string{}
+	for _, lane := range []string{"atomic", "network", "combining", "adaptive"} {
+		for _, g := range []int{1, 2} {
+			want = append(want, fmt.Sprintf("BenchmarkCounterSweep/%s/g=%d", lane, g))
+		}
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d benchmark lines, want %d:\n%s", len(lines), len(want), out.String())
+	}
+	for i, line := range lines {
+		fields := strings.Fields(line)
+		if fields[0] != want[i] {
+			t.Fatalf("line %d = %q, want name %q", i, line, want[i])
+		}
+		// The benchjson parser needs: integer iters, then pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			t.Fatalf("line %d not value/unit shaped: %q", i, line)
+		}
+		if n, err := strconv.ParseInt(fields[1], 10, 64); err != nil || n < 1 {
+			t.Fatalf("line %d iteration count %q invalid: %v", i, fields[1], err)
+		}
+		if fields[3] != "ns/op" || fields[5] != "vals/sec" {
+			t.Fatalf("line %d units = %q", i, line)
+		}
+		if v, err := strconv.ParseFloat(fields[2], 64); err != nil || v <= 0 {
+			t.Fatalf("line %d ns/op %q: measurement missing", i, fields[2])
+		}
+	}
+}
+
+// TestRunSweepBlockSuffix: a block sweep renames every lane so block
+// and per-value runs can land in the same benchjson result set.
+func TestRunSweepBlockSuffix(t *testing.T) {
+	cfg, err := parseConfig([]string{
+		"-sweep", "-width", "4", "-duration", "2ms", "-repeat", "1",
+		"-goroutines", "1", "-counter", "combining,adaptive", "-block", "64",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := runSweep(context.Background(), cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, lane := range []string{"combining-block64", "adaptive-block64"} {
+		if !strings.Contains(out.String(), "BenchmarkCounterSweep/"+lane+"/g=1") {
+			t.Fatalf("missing %s lane:\n%s", lane, out.String())
+		}
+	}
+}
+
+// TestRunSweepInterrupted: a canceled context stops the sweep with its
+// error rather than emitting zero-valued cells.
+func TestRunSweepInterrupted(t *testing.T) {
+	cfg, err := parseConfig([]string{"-sweep", "-width", "4", "-counter", "atomic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out strings.Builder
+	if err := runSweep(ctx, cfg, &out); err != context.Canceled {
+		t.Fatalf("runSweep on canceled ctx = %v, want context.Canceled", err)
+	}
+	if strings.Contains(out.String(), "BenchmarkCounterSweep") {
+		t.Fatalf("canceled sweep still emitted cells:\n%s", out.String())
+	}
+}

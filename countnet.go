@@ -359,6 +359,72 @@ func NewCombiningCounter(n *Network, opts ...Option) *Counter {
 	return &Counter{inner: c}
 }
 
+// AdaptiveCounter is a self-tuning Fetch&Increment counter: it serves
+// draws from a raw atomic word, a counting-network counter, or a
+// flat-combining counter over the given network, and — when
+// observability is on — switches between them live along the measured
+// lower envelope of the three (see docs/PERFORMANCE.md, "Adaptive
+// engine"). Values are distinct always; at quiescence the values
+// handed out — including small per-handle prefetch blocks not yet
+// returned by Next — are exactly 0..N-1, across every engine switch.
+type AdaptiveCounter struct {
+	inner *counter.AdaptiveCounter
+}
+
+// NewAdaptiveCounter builds an adaptive counter over the given
+// counting network. With WithObservability the counter registers its
+// strategy gauges (active engine, switch count, last switch reason)
+// under the given group name and starts the governor, which retunes
+// the strategy from self-measured load; without it the counter stays
+// on its initial engine (the atomic word) unless the caller switches
+// manually via the internal API. Call Close when done to stop the
+// governor.
+func NewAdaptiveCounter(n *Network, opts ...Option) *AdaptiveCounter {
+	c := counter.NewAdaptiveCounter(n.inner, counter.EngineAtomic, nil)
+	if o := buildOptions(opts); o.obsName != "" {
+		c.EnableObs(o.obsName, nil)
+		// EnableObs preceded, so StartGovernor cannot fail.
+		_ = c.StartGovernor()
+	}
+	return &AdaptiveCounter{inner: c}
+}
+
+// Next issues the next value. Safe for concurrent use; in tight loops
+// prefer per-goroutine handles from Handle.
+func (c *AdaptiveCounter) Next() int64 { return c.inner.Next() }
+
+// NextBlock fills dst with len(dst) fresh values.
+func (c *AdaptiveCounter) NextBlock(dst []int64) { c.inner.NextBlock(dst) }
+
+// Handle returns a goroutine-local handle (see Counter.Handle).
+func (c *AdaptiveCounter) Handle(id int) *CounterHandle {
+	return &CounterHandle{inner: c.inner.Handle(id)}
+}
+
+// Strategy returns the name of the currently active engine: "atomic",
+// "network" or "combining".
+func (c *AdaptiveCounter) Strategy() string { return c.inner.Strategy().String() }
+
+// Switches returns the number of completed engine transitions.
+func (c *AdaptiveCounter) Switches() int64 { return c.inner.Switches() }
+
+// Recommend maps the governor's current load estimate to the
+// L-family factorization the measured cost model favours at this
+// load, for the counter's width (see AdviseFactorization). Useful for
+// re-provisioning: the adaptive counter switches engines live, but
+// the network it switches onto is fixed at construction.
+func (c *AdaptiveCounter) Recommend() (FactorizationAdvice, error) {
+	load := c.inner.LoadEstimate()
+	if load < 1 {
+		load = 1
+	}
+	return AdviseFactorization(c.inner.Width(), load, float64(c.inner.CombineBlock()))
+}
+
+// Close stops the governor, if running. The counter remains usable on
+// its current engine.
+func (c *AdaptiveCounter) Close() { c.inner.Close() }
+
 // Next issues the next value. Safe for concurrent use; in tight loops
 // prefer per-goroutine handles from Handle.
 func (c *Counter) Next() int64 { return c.inner.Next() }
@@ -449,3 +515,70 @@ func Factorizations(w int) [][]int { return factor.Factorizations(w, 2) }
 // factors minimizing the largest factor — a good default for NewL when
 // the caller just wants narrow balancers and small depth.
 func BalancedFactorization(w, n int) []int { return factor.Balanced(w, n) }
+
+// FactorizationAdvice is a measurement-driven recommendation of an
+// L-family factorization for a load profile (the paper's Theorem 7
+// width/depth tradeoff picked from data rather than by hand).
+type FactorizationAdvice struct {
+	// Factors parameterizes NewL.
+	Factors []int
+	// Depth and MaxBalancerWidth describe the recommended network.
+	Depth            int
+	MaxBalancerWidth int
+	// Rationale explains the pick in terms of the cost model.
+	Rationale string
+}
+
+// AdviseFactorization recommends the L-family factorization of width w
+// for the given load profile: concurrency is the expected mean number
+// of concurrent requesters (an adaptive counter's live estimate, or a
+// capacity target), block the mean values drawn per request (>= 1;
+// batched draws divide per-balancer pressure). It builds every
+// factorization of w, scores each with a contention-aware cost model
+// calibrated on the committed benchmark lanes, and returns the
+// cheapest — see internal/factor.Advise. Enumeration is exhaustive, so
+// keep w modest (hundreds, not millions).
+func AdviseFactorization(w int, concurrency, block float64) (FactorizationAdvice, error) {
+	cands, err := adviseCandidates(w)
+	if err != nil {
+		return FactorizationAdvice{}, err
+	}
+	r, err := factor.Advise(factor.Profile{Concurrency: concurrency, Block: block}, cands)
+	if err != nil {
+		return FactorizationAdvice{}, err
+	}
+	return FactorizationAdvice{
+		Factors:          r.Factors,
+		Depth:            r.Depth,
+		MaxBalancerWidth: r.MaxWidth,
+		Rationale:        r.Rationale,
+	}, nil
+}
+
+// adviseCandidates builds one scored candidate per factorization of w:
+// the real L network's depth, widest balancer, and per-layer balancer
+// counts (what the cost model charges contention against).
+func adviseCandidates(w int) ([]factor.Candidate, error) {
+	fss := factor.Factorizations(w, 2)
+	if len(fss) == 0 {
+		return nil, fmt.Errorf("countnet: no factorization of width %d (need w >= 2)", w)
+	}
+	cands := make([]factor.Candidate, 0, len(fss))
+	for _, fs := range fss {
+		net, err := core.L(fs...)
+		if err != nil {
+			return nil, err
+		}
+		layers := make([]int, net.Depth())
+		for i := range net.Gates {
+			layers[net.Gates[i].Layer-1]++
+		}
+		cands = append(cands, factor.Candidate{
+			Factors:    fs,
+			Depth:      net.Depth(),
+			LayerGates: layers,
+			MaxWidth:   net.MaxGateWidth(),
+		})
+	}
+	return cands, nil
+}

@@ -69,4 +69,26 @@ func main() {
 	fmt.Println("(cheaper switches) while depth grows (more latency). The paper's point")
 	fmt.Println("is that every point on this curve is available for ANY width, at")
 	fmt.Println("depth O(log^2 w) with small constants.")
+
+	// Which point should YOU pick? The advisor scores every member
+	// with a contention-aware cost model (calibrated on the repo's
+	// committed benchmark lanes) for a given load profile — the same
+	// machinery countnet.AdaptiveCounter.Recommend feeds its live
+	// Little's-law load estimate into.
+	fmt.Println("\nmeasurement-driven pick (countnet.AdviseFactorization):")
+	fmt.Printf("%-12s %-8s %-28s %8s %12s\n", "concurrency", "block", "recommended", "depth", "balancer<=")
+	for _, block := range []float64{1, 64} {
+		for _, conc := range []float64{1, 4, 16, 64, 256} {
+			adv, err := countnet.AdviseFactorization(width, conc, block)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-12.0f %-8.0f %-28s %8d %12d\n",
+				conc, block, fmt.Sprint(adv.Factors), adv.Depth, adv.MaxBalancerWidth)
+		}
+	}
+	fmt.Println("\nhigher concurrency pushes the pick toward narrower balancers (the")
+	fmt.Println("queueing penalty on a wide shared balancer dominates); big block draws")
+	fmt.Println("push it back toward shallow networks (one reservation per gate per")
+	fmt.Println("block divides the pressure).")
 }

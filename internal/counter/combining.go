@@ -1,6 +1,7 @@
 package counter
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -45,6 +46,13 @@ type CombiningCounter struct {
 	// the combine pass and the handle spin loop pay one nil-check each
 	// when disabled.
 	watch *obs.CombineObs
+
+	// hookHeld is the cooperative combiner lock for controlled runs:
+	// hooked passes cannot take c.combine across yield points (a sched
+	// ready() predicate must be side-effect free, so TryLock is out),
+	// so they park on this flag via Yield.Block instead. Never mixed
+	// with the production lock within one controlled run.
+	hookHeld bool
 }
 
 // slot states. Only the owning handle moves idle->pending and
@@ -201,6 +209,66 @@ func (h *CombiningHandle) await() {
 		//netvet:allow gosched
 		runtime.Gosched()
 	}
+}
+
+// NextBlockHooked fills dst with len(dst) fresh values under schedule
+// instrumentation: the combiner lock becomes a cooperative flag parked
+// on via block, and the batch traversal and per-exit claims yield
+// before every shared atomic step. Hooked passes serve only their own
+// request (no slot draining — controlled runs drive each goroutine's
+// demand directly), which is still one legal execution of the batch.
+// For package sched; do not mix with unhooked calls in a controlled
+// run.
+func (c *CombiningCounter) NextBlockHooked(dst []int64, yield func(op string), block func(op string, ready func() bool)) {
+	if len(dst) == 0 {
+		return
+	}
+	block("combine lock", func() bool { return !c.hookHeld })
+	c.hookHeld = true
+	// Round-robin injection from the cursor, as in combineLocked.
+	w := int(c.width)
+	for i := range c.entry {
+		c.entry[i] = 0
+	}
+	n, q := c.cursor, int64(len(dst))
+	if q >= int64(w) {
+		for i := range c.entry {
+			c.entry[i] += q / int64(w)
+		}
+		q %= int64(w)
+	}
+	for ; q > 0; q-- {
+		c.entry[n]++
+		n++
+		if n == w {
+			n = 0
+		}
+	}
+	c.cursor = n
+	out := c.async.TraverseBatchHooked(c.entry, yield)
+	i := 0
+	for pos, k := range out {
+		if k == 0 {
+			continue
+		}
+		yield(fmt.Sprintf("local claim %d", pos))
+		base := c.locals[pos].v.Add(k) - k
+		for m := int64(0); m < k; m++ {
+			dst[i] = (base+m)*c.width + int64(pos)
+			i++
+		}
+	}
+	c.hookHeld = false
+}
+
+// issued returns the number of values handed out (see
+// NetworkCounter.issued), exact at quiescence.
+func (c *CombiningCounter) issued() int64 {
+	var n int64
+	for i := range c.locals {
+		n += c.locals[i].v.Load()
+	}
+	return n
 }
 
 // combineLocked drains every pending slot plus the combiner's own

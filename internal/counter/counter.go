@@ -217,6 +217,29 @@ func (h *handle) NextBlock(dst []int64) {
 	}
 }
 
+// NextHooked is Next with schedule instrumentation (the private wire
+// cursor needs no yield — it is goroutine-local). For package sched.
+func (h *handle) NextHooked(yield func(op string)) int64 {
+	wire := h.pos
+	h.pos++
+	if h.pos == h.c.width {
+		h.pos = 0
+	}
+	return h.c.NextOnHooked(wire, yield)
+}
+
+// issued returns the number of values this counter has handed out,
+// exact once no Next/NextBlock is in flight. The adaptive front-end
+// reads it as the fence value when sealing an epoch: after draining,
+// issued() is the count the incoming engine must continue from.
+func (c *NetworkCounter) issued() int64 {
+	var n int64
+	for i := range c.locals {
+		n += c.locals[i].v.Load()
+	}
+	return n
+}
+
 // AtomicCounter is the centralized baseline: one fetch-and-add word.
 type AtomicCounter struct {
 	_ [64]byte
@@ -237,6 +260,11 @@ func (c *AtomicCounter) NextBlock(dst []int64) {
 		dst[i] = base + int64(i)
 	}
 }
+
+// issued returns the number of values handed out (see
+// NetworkCounter.issued); for the atomic baseline it is the word
+// itself.
+func (c *AtomicCounter) issued() int64 { return c.v.Load() }
 
 // MutexCounter is the lock-based centralized baseline.
 type MutexCounter struct {

@@ -1,0 +1,12 @@
+package counter
+
+// Test-only accessors. UnsafeDisableDrainForTest removes the drain
+// step from hooked switches so the exploration tests can prove the
+// sched harness catches the resulting lost/duplicated values — the
+// refutation that gives the gap-free transition tests their teeth.
+func (c *AdaptiveCounter) UnsafeDisableDrainForTest() { c.unsafeNoDrain = true }
+
+// ChooseEngineForTest exposes the governor's banding decision.
+func ChooseEngineForTest(cur EngineKind, load float64, pol *AdaptivePolicy) EngineKind {
+	return chooseEngine(cur, load, pol)
+}

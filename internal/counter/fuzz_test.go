@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"countnet/internal/core"
+	"countnet/internal/counter"
 	"countnet/internal/sched"
 )
 
@@ -27,6 +28,40 @@ func FuzzCounterSchedules(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tasks, check := sys()
 		tr, err := sched.Run(&sched.ByteDecoder{Data: data}, 20_000, tasks)
+		if err == nil {
+			err = check(tr)
+		}
+		if err != nil {
+			t.Fatalf("schedule bytes %x: %v", data, err)
+		}
+	})
+}
+
+// FuzzAdaptiveSchedules drives the adaptive counter's transition
+// window — concurrent draws racing a switcher that walks atomic →
+// network → combining → atomic — through fuzz-chosen interleavings.
+// Unlike the plain counter workload the adaptive one blocks (epoch
+// turnover, drain), so the decoder only ever picks among runnable
+// tasks; any reported error is still a real bug, and the gap-free
+// check at quiescence is the oracle.
+func FuzzAdaptiveSchedules(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{1, 0, 2, 0, 1, 2})
+	f.Add([]byte{255, 127, 63, 31, 15, 7, 3, 1})
+	net, err := core.K(2, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	plan := []counter.EngineKind{
+		counter.EngineNetwork, counter.EngineCombining, counter.EngineAtomic,
+	}
+	sys := sched.AdaptiveSystem(func() *counter.AdaptiveCounter {
+		return counter.NewAdaptiveCounter(net, counter.EngineAtomic, nil)
+	}, 2, 2, plan)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tasks, check := sys()
+		tr, err := sched.Run(&sched.ByteDecoder{Data: data}, 30_000, tasks)
 		if err == nil {
 			err = check(tr)
 		}

@@ -1,0 +1,116 @@
+package factor
+
+import (
+	"reflect"
+	"testing"
+)
+
+// advTestCandidates: the trivial {16} (one 16-wide balancer, depth 1)
+// against the binary L(2,2,2,2) (10 layers of 8 2-balancers) and an
+// intermediate {4,4} (2 layers-ish shape, simplified for the model).
+func advTestCandidates() []Candidate {
+	return []Candidate{
+		{Factors: []int{16}, Depth: 1, LayerGates: []int{1}, MaxWidth: 16},
+		{Factors: []int{4, 4}, Depth: 4, LayerGates: []int{4, 4, 8, 8}, MaxWidth: 4},
+		{Factors: []int{2, 2, 2, 2}, Depth: 10,
+			LayerGates: []int{8, 8, 8, 8, 8, 8, 8, 8, 8, 8}, MaxWidth: 2},
+	}
+}
+
+// TestAdviseFollowsLoad: at low concurrency the shallow trivial
+// factorization wins (depth dominates); at very high concurrency the
+// queueing penalty on one balancer dominates and a finer factorization
+// wins — the paper's width/depth tradeoff, ranked from a load profile.
+func TestAdviseFollowsLoad(t *testing.T) {
+	cands := advTestCandidates()
+	low, err := Advise(Profile{Concurrency: 2}, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(low.Factors, []int{16}) {
+		t.Fatalf("low load recommends %v, want [16]", low.Factors)
+	}
+	high, err := Advise(Profile{Concurrency: 256}, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(high.Factors, []int{16}) {
+		t.Fatalf("high load still recommends the trivial factorization (cost %v)", high.Cost)
+	}
+	if high.Rationale == "" || low.Rationale == "" {
+		t.Fatal("recommendations missing rationale")
+	}
+}
+
+// TestAdviseBlockDividesPressure: batched draws reserve ranges with
+// one RMW per gate per block, so a big block keeps the shallow network
+// competitive at loads where single-value draws have moved off it.
+func TestAdviseBlockDividesPressure(t *testing.T) {
+	cands := advTestCandidates()
+	single, err := Advise(Profile{Concurrency: 256, Block: 1}, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked, err := Advise(Profile{Concurrency: 256, Block: 64}, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(single.Factors, []int{16}) {
+		t.Fatal("single-value draws at 256 concurrent should not pick the trivial factorization")
+	}
+	if !reflect.DeepEqual(blocked.Factors, []int{16}) {
+		t.Fatalf("block=64 draws recommend %v, want [16]", blocked.Factors)
+	}
+}
+
+// TestAdviseMaxWidthMonotone: as concurrency grows the recommended
+// widest balancer never grows — more load never argues for a more
+// centralized network.
+func TestAdviseMaxWidthMonotone(t *testing.T) {
+	cands := advTestCandidates()
+	prev := 1 << 30
+	for _, conc := range []float64{1, 4, 16, 64, 256, 1024} {
+		r, err := Advise(Profile{Concurrency: conc}, cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.MaxWidth > prev {
+			t.Fatalf("concurrency %v recommends max balancer %d, wider than %d at lower load",
+				conc, r.MaxWidth, prev)
+		}
+		prev = r.MaxWidth
+	}
+}
+
+// TestAdviseDeterministic: same inputs, same pick (ties break on
+// depth, then factor count).
+func TestAdviseDeterministic(t *testing.T) {
+	cands := advTestCandidates()
+	a, _ := Advise(Profile{Concurrency: 32}, cands)
+	b, _ := Advise(Profile{Concurrency: 32}, cands)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("non-deterministic recommendation: %v vs %v", a, b)
+	}
+}
+
+// TestAdviseEmptyCandidates errors rather than guessing.
+func TestAdviseEmptyCandidates(t *testing.T) {
+	if _, err := Advise(Profile{Concurrency: 8}, nil); err == nil {
+		t.Fatal("Advise with no candidates did not error")
+	}
+}
+
+// TestSweepCoversPoints: one recommendation per point, in ascending
+// concurrency order.
+func TestSweepCoversPoints(t *testing.T) {
+	recs, err := Sweep([]float64{64, 1, 8}, 1, advTestCandidates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d recommendations, want 3", len(recs))
+	}
+	if !reflect.DeepEqual(recs[0].Factors, []int{16}) {
+		t.Fatalf("lowest point recommends %v, want [16]", recs[0].Factors)
+	}
+}

@@ -1,5 +1,7 @@
 package obs
 
+import "sync/atomic"
+
 // Engine-specific observation state. Each engine (per-token counter,
 // flat-combining counter, pool) owns one of these structs, nil when
 // observation is off; the structs embed a NetObs for the underlying
@@ -68,6 +70,75 @@ func (o *CombineObs) GroupSnapshot() GroupSnapshot {
 		{Name: "pass_served", Hist: o.PassServed.Snapshot()},
 		{Name: "pass_queue", Hist: o.PassQueue.Snapshot()},
 	}, g.Hists...)
+	return g
+}
+
+// AdaptiveObs observes the adaptive counter front-end: which engine is
+// active, how often and why it switched, the governor's load estimate,
+// and the probe latencies the estimate rests on. The draw fast path
+// writes nothing here — issued-value totals come from the counter's
+// own per-handle slots via OpsFn, so observation stays allocation- and
+// contention-free while the strategy gauges track the governor.
+type AdaptiveObs struct {
+	name string
+	// OpsFn reports total values issued (sum of per-handle slot
+	// counters); set by the owning counter when obs is enabled.
+	OpsFn func() int64
+	// StrategyFn resolves the current engine id to its name; set by
+	// the owning counter (keeps obs free of an engine-name table).
+	StrategyFn func(int64) string
+
+	Strategy  atomic.Int64 // active engine id (gauge)
+	Switches  PaddedCount  // completed strategy transitions
+	LoadMilli atomic.Int64 // governor load estimate ×1000 (gauge)
+	Block     atomic.Int64 // current combining prefetch block (gauge)
+	ProbeNs   *Hist        // governor probe: per-value draw latency
+
+	reason atomic.Pointer[string] // last switch reason
+}
+
+// NewAdaptiveObs builds adaptive obs.
+func NewAdaptiveObs(name string) *AdaptiveObs {
+	return &AdaptiveObs{name: name, ProbeNs: NewHist()}
+}
+
+// SetReason records why the last switch happened.
+func (o *AdaptiveObs) SetReason(r string) { o.reason.Store(&r) }
+
+// Reason returns the last switch reason, or "" before any switch.
+func (o *AdaptiveObs) Reason() string {
+	if p := o.reason.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// GroupSnapshot implements Source.
+func (o *AdaptiveObs) GroupSnapshot() GroupSnapshot {
+	g := GroupSnapshot{
+		Name: o.name,
+		Kind: "adaptive",
+		Counters: []Metric{
+			{Name: "switches", Value: o.Switches.Load()},
+		},
+		Gauges: []Metric{
+			{Name: "strategy", Value: o.Strategy.Load()},
+			{Name: "est_load_milli", Value: o.LoadMilli.Load()},
+			{Name: "combine_block", Value: o.Block.Load()},
+		},
+		Hists: []HistMetric{{Name: "probe_ns", Hist: o.ProbeNs.Snapshot()}},
+	}
+	if o.OpsFn != nil {
+		g.Counters = append([]Metric{{Name: "ops", Value: o.OpsFn()}}, g.Counters...)
+	}
+	strategy := ""
+	if o.StrategyFn != nil {
+		strategy = o.StrategyFn(o.Strategy.Load())
+	}
+	g.Status = []StatusMetric{
+		{Name: "strategy", Value: strategy},
+		{Name: "last_switch_reason", Value: o.Reason()},
+	}
 	return g
 }
 

@@ -49,6 +49,8 @@ func (r *Registry) PublishExpvar(name string) bool {
 // Prometheus text exposition format (version 0.0.4):
 //
 //	countnet_counter_total{group,kind,name}        engine counters
+//	countnet_gauge{group,kind,name}                instantaneous levels
+//	countnet_status_info{group,name,value}         string-valued states
 //	countnet_gate_tokens_total{group,gate,layer}   per-gate traffic
 //	countnet_gate_contended_total{group,gate,layer}
 //	countnet_layer_tokens_total{group,layer}       per-layer traffic
@@ -66,6 +68,23 @@ func writePrometheus(w io.Writer, s Snapshot) error {
 		for _, c := range g.Counters {
 			fmt.Fprintf(&b, "countnet_counter_total{group=%q,kind=%q,name=%q} %d\n",
 				escapeLabel(g.Name), escapeLabel(g.Kind), escapeLabel(c.Name), c.Value)
+		}
+	}
+	b.WriteString("# TYPE countnet_gauge gauge\n")
+	for _, g := range s.Groups {
+		for _, c := range g.Gauges {
+			fmt.Fprintf(&b, "countnet_gauge{group=%q,kind=%q,name=%q} %d\n",
+				escapeLabel(g.Name), escapeLabel(g.Kind), escapeLabel(c.Name), c.Value)
+		}
+	}
+	b.WriteString("# TYPE countnet_status_info gauge\n")
+	for _, g := range s.Groups {
+		for _, st := range g.Status {
+			if st.Value == "" {
+				continue
+			}
+			fmt.Fprintf(&b, "countnet_status_info{group=%q,name=%q,value=%q} 1\n",
+				escapeLabel(g.Name), escapeLabel(st.Name), escapeLabel(st.Value))
 		}
 	}
 	b.WriteString("# TYPE countnet_gate_tokens_total counter\n")

@@ -181,6 +181,55 @@ func CounterSystem(net *network.Network, goroutines, opsPer int) System {
 	}
 }
 
+// AdaptiveSystem runs goroutines tasks each issuing opsPer values
+// through per-task handles of one counter.AdaptiveCounter (built fresh
+// per schedule by build, so tests control the initial engine, policy,
+// and failure-injection hooks), while one switcher task walks the
+// engine plan via SwitchToHooked. Every shared atomic step of the
+// epoch protocol — epoch load, slot publish, seal check, the seal, the
+// per-slot drain, the fence/install — is a scheduling point, so
+// exploration covers draws racing arbitrarily with transitions. At
+// quiescence the issued values must be exactly 0..N-1: a draw minted
+// against a stale epoch offset, a fence read before a straggler
+// retired, or a switch that skipped the drain surfaces as a duplicate
+// or a gap.
+func AdaptiveSystem(build func() *counter.AdaptiveCounter, goroutines, opsPer int, plan []counter.EngineKind) System {
+	return func() ([]TaskFunc, func(tr *Trace) error) {
+		c := build()
+		values := make([]int64, 0, goroutines*opsPer)
+		tasks := make([]TaskFunc, 0, goroutines+1)
+		for g := 0; g < goroutines; g++ {
+			h := c.Handle(g).(*counter.AdaptiveHandle)
+			tasks = append(tasks, func(y *Yield) {
+				for k := 0; k < opsPer; k++ {
+					v := h.NextHooked(y.Step, y.Block)
+					values = append(values, v)
+				}
+			})
+		}
+		if len(plan) > 0 {
+			plan := plan
+			tasks = append(tasks, func(y *Yield) {
+				for _, kind := range plan {
+					c.SwitchToHooked(kind, y.Step, y.Block)
+				}
+			})
+		}
+		check := func(tr *Trace) error {
+			got := append([]int64(nil), values...)
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			for i, v := range got {
+				if v != int64(i) {
+					return fmt.Errorf("sched: adaptive counter values not gap-free across engine switches: sorted[%d] = %d (values %v)\nschedule:\n%s",
+						i, v, got, tr)
+				}
+			}
+			return nil
+		}
+		return tasks, check
+	}
+}
+
 // PoolSystem runs pairs producer tasks and pairs consumer tasks over a
 // fresh pool.Pool built on net; producer g puts the itemsPer items
 // g*itemsPer..(g+1)*itemsPer-1 and every consumer gets itemsPer items.
