@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench bench-plan bench-counter bench-obs bench-adaptive bench-scenarios bench-smoke obs-smoke scenario-smoke fuzz soak vet fmt lint netvet generate generate-check experiments examples clean
+.PHONY: all build test race short bench bench-plan bench-counter bench-obs bench-adaptive bench-scenarios bench-smoke obs-smoke scenario-smoke fuzz soak vet fmt lint netvet vet-escape generate generate-check experiments examples clean
 
 all: build vet test
 
@@ -16,9 +16,17 @@ fmt:
 	gofmt -l -w .
 
 # The repo's own vettool (see docs/TESTING.md, "Static analysis"):
-# padalign, schedhooks, ctorerr, fieldalign.
+# padalign, schedhooks, ctorerr, fieldalign, hotpath, epochorder,
+# atomicmix.
 netvet:
 	$(GO) build -o bin/netvet ./cmd/netvet
+
+# Hot-path escape proof (docs/TESTING.md, "Layer 5½"): drives
+# `go build -gcflags=-m` and fails if any escape diagnostic lands in a
+# //netvet:hotpath function. Warm build caches replay the diagnostics,
+# so repeat runs are cheap.
+vet-escape: netvet
+	./bin/netvet -escape ./...
 
 # Full static-analysis gate. netvet and `go vet` always run;
 # staticcheck/govulncheck/fieldalignment run when installed (CI

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AllowPrefix is the comment prefix shared by every suppression
+// annotation the netvet analyzers understand:
+//
+//	//netvet:allow <word> [<word>...] [-- free-text reason]
+//
+// The words name the specific checks being waived on that line
+// ("spawn", "gosched", "nondeterminism", "append", "hotpath",
+// "escape", "plainaccess", ...); everything after an optional "--"
+// separator is a human-readable justification and is ignored by the
+// tools. An annotation covers its own line and the next, so both the
+// trailing-comment and line-above forms work.
+const AllowPrefix = "//netvet:allow"
+
+// Allows indexes every //netvet:allow annotation in a set of files by
+// file name and covered line.
+type Allows struct {
+	m map[string]map[int][]string
+}
+
+// CollectAllows scans the comments of files for allow annotations.
+func CollectAllows(fset *token.FileSet, files []*ast.File) Allows {
+	a := Allows{m: map[string]map[int][]string{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				rest, ok := strings.CutPrefix(text, AllowPrefix)
+				if !ok {
+					continue
+				}
+				words := AllowWords(rest)
+				posn := fset.Position(c.Pos())
+				m := a.m[posn.Filename]
+				if m == nil {
+					m = map[int][]string{}
+					a.m[posn.Filename] = m
+				}
+				// The annotation covers its own line and the next: both
+				// the trailing-comment and line-above forms.
+				m[posn.Line] = append(m[posn.Line], words...)
+				m[posn.Line+1] = append(m[posn.Line+1], words...)
+			}
+		}
+	}
+	return a
+}
+
+// AllowWords splits the text following the //netvet:allow prefix into
+// allow words, dropping the optional "-- reason" suffix.
+func AllowWords(rest string) []string {
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = rest[:i]
+	}
+	return strings.Fields(rest)
+}
+
+// Allowed reports whether word is allowed at pos, i.e. an annotation
+// carrying it sits on pos's line or the line above.
+func (a Allows) Allowed(fset *token.FileSet, pos token.Pos, word string) bool {
+	posn := fset.Position(pos)
+	for _, w := range a.m[posn.Filename][posn.Line] {
+		if w == word {
+			return true
+		}
+	}
+	return false
+}
+
+// AllowedLine reports whether word is allowed on the given
+// file:line. Line-oriented checkers (the escape prover) resolve
+// compiler diagnostics, not token positions.
+func (a Allows) AllowedLine(file string, line int, word string) bool {
+	for _, w := range a.m[file][line] {
+		if w == word {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,297 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the escape prover behind `netvet -escape` and `make
+// vet-escape`: the compile-time complement to the runtime
+// AllocsPerRun==0 tests. It drives `go build -gcflags=-m` over the
+// module, parses the compiler's escape diagnostics, and fails if any
+// lands inside a function annotated //netvet:hotpath. The Go build
+// cache replays -m diagnostics on unchanged packages, so warm runs
+// cost roughly a `go list`.
+//
+// Two classes of diagnostics are exempt:
+//
+//   - anything on a line spanned by a builtin panic call's arguments:
+//     panic paths are cold by definition, and the fmt boxing in a
+//     bounds message says nothing about steady state;
+//   - lines annotated `//netvet:allow escape -- reason`: the audited
+//     static boxings (e.g. context.Background's zero-size value at a
+//     trace.StartRegion call) and cold one-time fallbacks (lazy
+//     scratch construction) that the runtime alloc tests already pin
+//     at zero.
+
+// hotFunc is one annotated function's source extent.
+type hotFunc struct {
+	Name      string // receiver-qualified, e.g. (*Plan).Apply
+	File      string // absolute path
+	StartLine int
+	EndLine   int
+
+	findings []Finding
+}
+
+// EscapeReport is the outcome of one prover run.
+type EscapeReport struct {
+	// Proved lists annotated functions with no escape diagnostics, as
+	// "file:line: name", sorted.
+	Proved []string
+	// Findings lists escape diagnostics inside annotated functions.
+	Findings []Finding
+}
+
+// hotpathDirective duplicates the hotpath analyzer's marker here
+// rather than importing it: analyzers depend on this package, not the
+// reverse.
+const hotpathDirective = "//netvet:hotpath"
+
+// EscapeCheck proves the //netvet:hotpath functions of the packages
+// matched by patterns allocation-free, from the compiler's escape
+// analysis. dir is the working directory for the go tool ("" for the
+// current one).
+func EscapeCheck(dir string, patterns []string) (*EscapeReport, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	files, err := goListFiles(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	var hots []*hotFunc
+	exemptLines := map[string]map[int]bool{} // file → exempt lines
+	for _, file := range files {
+		af, err := parser.ParseFile(fset, file, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: escape: parse %s: %v", file, err)
+		}
+		collectHot(fset, af, file, &hots, exemptLines)
+	}
+	if len(hots) == 0 {
+		return nil, fmt.Errorf("analysis: escape: no %s functions found in %s", hotpathDirective, strings.Join(patterns, " "))
+	}
+
+	diags, err := escapeDiagnostics(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &EscapeReport{}
+	for _, d := range diags {
+		if exemptLines[d.Position.Filename][d.Position.Line] {
+			continue
+		}
+		for _, h := range hots {
+			if h.File == d.Position.Filename && d.Position.Line >= h.StartLine && d.Position.Line <= h.EndLine {
+				d.Message = fmt.Sprintf("%s in //netvet:hotpath function %s", d.Message, h.Name)
+				h.findings = append(h.findings, d)
+				break
+			}
+		}
+	}
+	for _, h := range hots {
+		if len(h.findings) == 0 {
+			rep.Proved = append(rep.Proved, fmt.Sprintf("%s:%d: %s", h.File, h.StartLine, h.Name))
+		} else {
+			rep.Findings = append(rep.Findings, h.findings...)
+		}
+	}
+	sort.Strings(rep.Proved)
+	sortFindings(rep.Findings)
+	return rep, nil
+}
+
+// collectHot records file's annotated functions, their panic-spanned
+// lines, and its //netvet:allow escape lines.
+func collectHot(fset *token.FileSet, af *ast.File, file string, hots *[]*hotFunc, exempt map[string]map[int]bool) {
+	lines := exempt[file]
+	if lines == nil {
+		lines = map[int]bool{}
+		exempt[file] = lines
+	}
+	for _, cg := range af.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			rest, ok := strings.CutPrefix(text, AllowPrefix)
+			if !ok {
+				continue
+			}
+			for _, w := range AllowWords(rest) {
+				if w == "escape" {
+					l := fset.Position(c.Pos()).Line
+					lines[l] = true
+					lines[l+1] = true
+				}
+			}
+		}
+	}
+	for _, decl := range af.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !hasHotpathDirective(fd.Doc) {
+			continue
+		}
+		*hots = append(*hots, &hotFunc{
+			Name:      funcDisplayName(fd),
+			File:      file,
+			StartLine: fset.Position(fd.Pos()).Line,
+			EndLine:   fset.Position(fd.End()).Line,
+		})
+		// Panic argument spans are cold-path by definition.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				from := fset.Position(call.Pos()).Line
+				to := fset.Position(call.End()).Line
+				for l := from; l <= to; l++ {
+					lines[l] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+func hasHotpathDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == hotpathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// funcDisplayName renders "(*T).Method" / "T.Method" / "Func".
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	return "(" + typeExprString(fd.Recv.List[0].Type) + ")." + fd.Name.Name
+}
+
+func typeExprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return "*" + typeExprString(e.X)
+	case *ast.IndexExpr: // generic receiver T[P]
+		return typeExprString(e.X) + "[" + typeExprString(e.Index) + "]"
+	case *ast.IndexListExpr:
+		parts := make([]string, len(e.Indices))
+		for i, ix := range e.Indices {
+			parts[i] = typeExprString(ix)
+		}
+		return typeExprString(e.X) + "[" + strings.Join(parts, ", ") + "]"
+	default:
+		return "?"
+	}
+}
+
+// goListFiles resolves patterns to the absolute paths of the matched
+// packages' non-test Go files.
+func goListFiles(dir string, patterns []string) ([]string, error) {
+	args := append([]string{"list", "-json=Dir,GoFiles,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: escape: go list: %v\n%s", err, stderr.String())
+	}
+	var files []string
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp struct {
+			Dir     string
+			GoFiles []string
+			DepOnly bool
+			Error   *struct{ Err string }
+		}
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: escape: go list output: %v", err)
+		}
+		if lp.DepOnly {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: escape: %s", lp.Error.Err)
+		}
+		for _, f := range lp.GoFiles {
+			files = append(files, filepath.Join(lp.Dir, f))
+		}
+	}
+	return files, nil
+}
+
+var diagRe = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// escapeDiagnostics compiles the matched packages with -gcflags=-m
+// and returns the heap-escape diagnostics, positions resolved to
+// absolute paths. The compiler prints -m output to stderr; the build
+// cache replays it verbatim for unchanged packages.
+func escapeDiagnostics(dir string, patterns []string) ([]Finding, error) {
+	args := append([]string{"build", "-gcflags=-m"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: escape: go build -gcflags=-m: %v\n%s", err, stderr.String())
+	}
+	base := dir
+	if base == "" {
+		base = "."
+	}
+	absBase, err := filepath.Abs(base)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		m := diagRe.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(absBase, file)
+		}
+		lineNo, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		out = append(out, Finding{
+			Analyzer: "escape",
+			Position: token.Position{Filename: filepath.Clean(file), Line: lineNo, Column: col},
+			Message:  msg,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEscapeCheckSeededMutant runs the prover over the escapemod
+// fixture: the clean, panic-exempt, and allow-annotated functions
+// must be proved; the seeded heap-escape mutant must be the one
+// failure; the unannotated allocator must not appear at all.
+func TestEscapeCheckSeededMutant(t *testing.T) {
+	rep, err := EscapeCheck("testdata/escapemod", []string{"./..."})
+	if err != nil {
+		t.Fatalf("EscapeCheck: %v", err)
+	}
+	proved := strings.Join(rep.Proved, "\n")
+	for _, want := range []string{"Sum", "Panicky", "Allowed"} {
+		if !strings.Contains(proved, want) {
+			t.Errorf("proved list missing %s:\n%s", want, proved)
+		}
+	}
+	if strings.Contains(proved, "Box") {
+		t.Errorf("seeded mutant Box wrongly proved:\n%s", proved)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatalf("seeded heap-escape mutant produced no findings")
+	}
+	for _, f := range rep.Findings {
+		if !strings.Contains(f.Message, "Box") {
+			t.Errorf("unexpected finding outside Box: %s", f)
+		}
+		if !strings.Contains(f.Message, "moved to heap") && !strings.Contains(f.Message, "escapes to heap") {
+			t.Errorf("finding does not carry a compiler escape message: %s", f)
+		}
+		if !strings.HasSuffix(f.Position.Filename, "esc.go") {
+			t.Errorf("finding resolved to wrong file: %s", f)
+		}
+	}
+}
+
+// TestEscapeCheckLoadFailure: a pattern matching nothing must surface
+// the go tool's error, not a vacuous pass.
+func TestEscapeCheckLoadFailure(t *testing.T) {
+	_, err := EscapeCheck("testdata/escapemod", []string{"./does-not-exist"})
+	if err == nil {
+		t.Fatalf("EscapeCheck on a nonexistent package succeeded")
+	}
+}
+
+// TestEscapeCheckNoAnnotations: proving a package with no hot
+// functions is vacuous and must be an error, not success.
+func TestEscapeCheckNoAnnotations(t *testing.T) {
+	_, err := EscapeCheck("testdata/escapemod", []string{"./cold"})
+	if err == nil || !strings.Contains(err.Error(), "netvet:hotpath") {
+		t.Fatalf("expected no-annotations error, got %v", err)
+	}
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadFailureUnknownPackage: a pattern the go tool cannot resolve
+// must surface as an error from Load, not an empty package list.
+func TestLoadFailureUnknownPackage(t *testing.T) {
+	_, err := Load("", "./this/package/does/not/exist")
+	if err == nil {
+		t.Fatalf("Load of a nonexistent package succeeded")
+	}
+	if !strings.Contains(err.Error(), "go list") && !strings.Contains(err.Error(), "load") {
+		t.Errorf("error does not identify the loader: %v", err)
+	}
+}
+
+// TestLoadCgoPackage: the dependency-free loader cannot typecheck
+// cgo-generated code. With cgo enabled it must reject the package
+// explicitly; with CGO_ENABLED=0 the go tool reports the package as
+// unbuildable, which Load must surface as an error too. Either way,
+// never a silent partial load.
+func TestLoadCgoPackage(t *testing.T) {
+	pkgs, err := Load("testdata/cgomod", ".")
+	if err == nil {
+		t.Fatalf("Load of a cgo package succeeded with %d packages", len(pkgs))
+	}
+}
+
+// TestLoadMultiFilePackage: Load feeds analyzers every file of a
+// package; the escapemod fixture's files and the hotpath annotations
+// in them must all be visible in one pass.
+func TestLoadMultiFilePackage(t *testing.T) {
+	pkgs, err := Load("testdata/escapemod", "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2 (escapemod, escapemod/cold)", len(pkgs))
+	}
+	hot := 0
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if strings.TrimSpace(c.Text) == hotpathDirective {
+						hot++
+					}
+				}
+			}
+		}
+	}
+	if hot != 4 {
+		t.Errorf("saw %d hotpath directives across the fixture, want 4", hot)
+	}
+}

@@ -1,0 +1,10 @@
+// Package cgomod is a loader edge-case fixture: a cgo package, which
+// the dependency-free loader must reject with a clear error (with
+// CGO_ENABLED=0 the go tool itself reports no buildable files, which
+// Load surfaces instead).
+package cgomod
+
+import "C"
+
+// N is exported through cgo solely so the file is a real cgo file.
+var N = C.int(0)

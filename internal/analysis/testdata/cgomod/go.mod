@@ -1,0 +1,3 @@
+module cgomod
+
+go 1.22

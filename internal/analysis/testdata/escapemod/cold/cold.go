@@ -1,0 +1,9 @@
+// Package cold has no //netvet:hotpath annotations: pointing the
+// escape prover at it alone must be an error (a vacuous proof), not a
+// pass.
+package cold
+
+// Alloc escapes on purpose; nobody claims otherwise.
+func Alloc(n int) []byte {
+	return make([]byte, n)
+}

@@ -1,0 +1,55 @@
+// Package escapemod is the escape prover's seeded-mutant fixture: a
+// clean hot function, a deliberately heap-escaping one, exempt panic
+// and allow-escape lines, and an unannotated allocator the prover
+// must ignore.
+package escapemod
+
+import "fmt"
+
+// Sum is steady-state allocation-free: the prover must list it as
+// proved.
+//
+//netvet:hotpath
+func Sum(vals []int64) int64 {
+	var s int64
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+// Box is the seeded heap-escape mutant: returning the address of a
+// local moves it to the heap, and the prover must fail on it.
+//
+//netvet:hotpath
+func Box(v int64) *int64 {
+	local := v
+	return &local
+}
+
+// Panicky boxes its panic argument, but panic paths are cold and
+// exempt: proved.
+//
+//netvet:hotpath
+func Panicky(v int64) int64 {
+	if v < 0 {
+		panic(fmt.Sprintf("negative %d", v))
+	}
+	return v + 1
+}
+
+// Allowed escapes on an annotated line: proved.
+//
+//netvet:hotpath
+func Allowed(v int64) *int64 {
+	//netvet:allow escape -- fixture: audited one-time allocation
+	p := new(int64)
+	*p = v
+	return p
+}
+
+// Cold allocates freely but carries no annotation: the prover must
+// not mention it.
+func Cold(n int) []int64 {
+	return make([]int64, n)
+}

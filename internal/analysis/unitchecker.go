@@ -43,7 +43,11 @@ type vetConfig struct {
 //     the tool once per package with a JSON config naming the source
 //     files and the export data of every dependency;
 //   - `netvet [patterns]`: a standalone multichecker that loads the
-//     named packages (default ./...) itself via Load.
+//     named packages (default ./...) itself via Load;
+//   - `netvet -escape [patterns]`: the escape prover — compiles the
+//     named packages with -gcflags=-m and fails if any heap-escape
+//     diagnostic lands inside a //netvet:hotpath function (see
+//     escape.go).
 //
 // It never returns: the process exits 0 with no findings, 2 with
 // findings, 1 on operational errors — matching go vet's conventions.
@@ -52,6 +56,7 @@ func VetMain(analyzers []*Analyzer) {
 	versionFlag := fs.String("V", "", "print version and exit (cmd/go tool handshake)")
 	flagsFlag := fs.Bool("flags", false, "print analyzer flags as JSON and exit (cmd/go handshake)")
 	jsonFlag := fs.Bool("json", false, "emit findings as JSON")
+	escapeFlag := fs.Bool("escape", false, "prove //netvet:hotpath functions allocation-free from compiler escape diagnostics")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: netvet [packages]  |  go vet -vettool=$(command -v netvet) [packages]\n\nAnalyzers:\n")
 		for _, a := range analyzers {
@@ -74,11 +79,30 @@ func VetMain(analyzers []*Analyzer) {
 	}
 
 	args := fs.Args()
+	if *escapeFlag {
+		runEscape(args, *jsonFlag)
+		return
+	}
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		runUnitchecker(args[0], analyzers, *jsonFlag)
 		return
 	}
 	runStandalone(args, analyzers, *jsonFlag)
+}
+
+// runEscape drives the escape prover and reports in go vet's exit
+// conventions: 0 when every annotated function is proven, 2 with
+// findings, 1 on operational errors (including zero annotated
+// functions, which would make the proof vacuous).
+func runEscape(patterns []string, asJSON bool) {
+	rep, err := EscapeCheck("", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netvet:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "netvet -escape: %d hot functions proven allocation-free, %d escape findings\n",
+		len(rep.Proved), len(rep.Findings))
+	emitFindings(rep.Findings, asJSON)
 }
 
 func runStandalone(patterns []string, analyzers []*Analyzer, asJSON bool) {

@@ -5,8 +5,11 @@ package analyzers
 
 import (
 	"countnet/internal/analysis"
+	"countnet/internal/analyzers/atomicmix"
 	"countnet/internal/analyzers/ctorerr"
+	"countnet/internal/analyzers/epochorder"
 	"countnet/internal/analyzers/fieldalign"
+	"countnet/internal/analyzers/hotpath"
 	"countnet/internal/analyzers/padalign"
 	"countnet/internal/analyzers/schedhooks"
 )
@@ -14,8 +17,11 @@ import (
 // All lists every analyzer netvet applies, in reporting order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		atomicmix.Analyzer,
 		ctorerr.Analyzer,
+		epochorder.Analyzer,
 		fieldalign.Analyzer,
+		hotpath.Analyzer,
 		padalign.Analyzer,
 		schedhooks.Analyzer,
 	}

@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"countnet/internal/analysis/analysistest"
+	"countnet/internal/analyzers/atomicmix"
+)
+
+func TestAtomicmixFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicmix.Analyzer, "a")
+}

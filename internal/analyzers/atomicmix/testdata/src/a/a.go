@@ -1,0 +1,57 @@
+// Package a exercises the atomicmix analyzer: mixed atomic/plain
+// field access, the plainaccess waiver, and the typed-atomic and
+// atomic-only exemptions.
+package a
+
+import "sync/atomic"
+
+type mixed struct {
+	n     int64
+	ready uint32
+	clean int64
+	typed atomic.Int64
+}
+
+func (m *mixed) bump() {
+	atomic.AddInt64(&m.n, 1)
+	atomic.StoreUint32(&m.ready, 1)
+	atomic.AddInt64(&m.clean, 1)
+	m.typed.Add(1)
+}
+
+func (m *mixed) read() int64 {
+	if m.ready == 1 { // want `atomicmix: field ready is accessed via sync/atomic.StoreUint32`
+		return m.n // want `atomicmix: field n is accessed via sync/atomic.AddInt64`
+	}
+	return atomic.LoadInt64(&m.n)
+}
+
+func (m *mixed) write(v int64) {
+	m.n = v // want `atomicmix: field n`
+}
+
+func (m *mixed) sealed() int64 {
+	//netvet:allow plainaccess -- sealed+drained: no concurrent writers remain
+	return m.n
+}
+
+func (m *mixed) cleanOnly() int64 {
+	// clean is only ever touched atomically: no finding.
+	return atomic.LoadInt64(&m.clean)
+}
+
+func (m *mixed) typedOnly() int64 {
+	// typed atomics have no plain form; selecting the field to call
+	// its methods is not a mix.
+	return m.typed.Load()
+}
+
+type untouched struct {
+	n int64
+}
+
+func (u *untouched) plain() int64 {
+	// n here is a different field object than mixed.n: never flagged.
+	u.n++
+	return u.n
+}

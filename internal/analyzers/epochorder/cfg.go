@@ -1,0 +1,205 @@
+package epochorder
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// node is one statement in the intraprocedural control-flow graph.
+// steps holds the protocol steps bound to the statement's line by
+// //netvet:epoch markers.
+type node struct {
+	pos   token.Pos
+	steps []string
+	succs []*node
+}
+
+func (n *node) has(step string) bool {
+	for _, s := range n.steps {
+		if s == step {
+			return true
+		}
+	}
+	return false
+}
+
+// builder constructs a conservative CFG for one function body. The
+// supported surface is everything the epoch-handoff code uses — if,
+// for, range, switch, type switch, select, return, break, continue —
+// plus straight-line statements. goto and labels set unsupported:
+// dominance over arbitrary label graphs is not worth the complexity
+// for protocol functions that must be simple by design, so the
+// analyzer reports them instead of guessing.
+type builder struct {
+	steps func(token.Pos) []string // line-indexed marker lookup
+
+	entry       *node
+	nodes       []*node
+	breakDst    []*[]*node // innermost-first break collectors (loops, switch, select)
+	continueDst []*node    // innermost-first loop headers
+	unsupported bool
+}
+
+func buildCFG(body *ast.BlockStmt, steps func(token.Pos) []string) *builder {
+	b := &builder{steps: steps}
+	b.entry = &node{pos: body.Pos()}
+	b.nodes = append(b.nodes, b.entry)
+	b.stmts(body.List, []*node{b.entry})
+	return b
+}
+
+func (b *builder) newNode(s ast.Stmt) *node {
+	n := &node{pos: s.Pos(), steps: b.steps(s.Pos())}
+	b.nodes = append(b.nodes, n)
+	return n
+}
+
+func (b *builder) link(from []*node, to *node) {
+	for _, f := range from {
+		f.succs = append(f.succs, to)
+	}
+}
+
+func (b *builder) stmts(list []ast.Stmt, in []*node) []*node {
+	for _, s := range list {
+		in = b.stmt(s, in)
+	}
+	return in
+}
+
+// stmt wires one statement into the graph and returns the frontier of
+// nodes from which control falls through to the next statement.
+func (b *builder) stmt(s ast.Stmt, in []*node) []*node {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(s.List, in)
+
+	case *ast.IfStmt:
+		n := b.newNode(s)
+		b.link(in, n)
+		out := b.stmts(s.Body.List, []*node{n})
+		if s.Else != nil {
+			out = append(out, b.stmt(s.Else, []*node{n})...)
+		} else {
+			out = append(out, n)
+		}
+		return out
+
+	case *ast.ForStmt:
+		n := b.newNode(s)
+		b.link(in, n)
+		var breaks []*node
+		b.breakDst = append(b.breakDst, &breaks)
+		b.continueDst = append(b.continueDst, n)
+		bodyOut := b.stmts(s.Body.List, []*node{n})
+		b.link(bodyOut, n) // back edge
+		b.breakDst = b.breakDst[:len(b.breakDst)-1]
+		b.continueDst = b.continueDst[:len(b.continueDst)-1]
+		if s.Cond != nil {
+			breaks = append(breaks, n) // conditional loops also exit at the header
+		}
+		return breaks
+
+	case *ast.RangeStmt:
+		n := b.newNode(s)
+		b.link(in, n)
+		var breaks []*node
+		b.breakDst = append(b.breakDst, &breaks)
+		b.continueDst = append(b.continueDst, n)
+		bodyOut := b.stmts(s.Body.List, []*node{n})
+		b.link(bodyOut, n)
+		b.breakDst = b.breakDst[:len(b.breakDst)-1]
+		b.continueDst = b.continueDst[:len(b.continueDst)-1]
+		return append(breaks, n) // ranges always terminate at the header
+
+	case *ast.SwitchStmt:
+		return b.switchLike(s, s.Body, in)
+	case *ast.TypeSwitchStmt:
+		return b.switchLike(s, s.Body, in)
+
+	case *ast.SelectStmt:
+		n := b.newNode(s)
+		b.link(in, n)
+		var breaks []*node
+		b.breakDst = append(b.breakDst, &breaks)
+		var out []*node
+		for _, cl := range s.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			out = append(out, b.stmts(cc.Body, []*node{n})...)
+		}
+		b.breakDst = b.breakDst[:len(b.breakDst)-1]
+		return append(out, breaks...)
+
+	case *ast.ReturnStmt:
+		n := b.newNode(s)
+		b.link(in, n)
+		return nil
+
+	case *ast.BranchStmt:
+		n := b.newNode(s)
+		b.link(in, n)
+		if s.Label != nil {
+			b.unsupported = true
+			return nil
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if len(b.breakDst) > 0 {
+				dst := b.breakDst[len(b.breakDst)-1]
+				*dst = append(*dst, n)
+			}
+			return nil
+		case token.CONTINUE:
+			if len(b.continueDst) > 0 {
+				n.succs = append(n.succs, b.continueDst[len(b.continueDst)-1])
+			}
+			return nil
+		case token.GOTO:
+			b.unsupported = true
+			return nil
+		default: // fallthrough: approximated as falling to the join
+			return []*node{n}
+		}
+
+	case *ast.LabeledStmt:
+		b.unsupported = true
+		return b.stmt(s.Stmt, in)
+
+	default:
+		// Straight-line statements: expressions, assignments, decls,
+		// sends, defers, go statements, empty statements.
+		n := b.newNode(s)
+		b.link(in, n)
+		return []*node{n}
+	}
+}
+
+// switchLike wires a switch or type switch: header → each clause
+// body; a missing default means the header itself falls through.
+func (b *builder) switchLike(s ast.Stmt, body *ast.BlockStmt, in []*node) []*node {
+	n := b.newNode(s)
+	b.link(in, n)
+	var breaks []*node
+	b.breakDst = append(b.breakDst, &breaks)
+	var out []*node
+	hasDefault := false
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		out = append(out, b.stmts(cc.Body, []*node{n})...)
+	}
+	b.breakDst = b.breakDst[:len(b.breakDst)-1]
+	out = append(out, breaks...)
+	if !hasDefault {
+		out = append(out, n)
+	}
+	return out
+}

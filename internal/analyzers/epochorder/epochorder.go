@@ -1,0 +1,239 @@
+// Package epochorder proves protocol-step ordering over annotated
+// functions by CFG dominance.
+//
+// The adaptive counter's engine switch (internal/counter/adaptive.go)
+// is only gap-free because every switch path performs seal → drain →
+// fence → install in exactly that order: sealing redirects new
+// arrivals, draining waits out in-flight issuers, the fence reads the
+// retired engine's final count, and only then is the new epoch
+// installed. Reordering any two steps silently reintroduces the gap
+// the handoff tests hunt at runtime; this analyzer refutes such a
+// reorder at vet time.
+//
+// A protocol function declares its step sequence in its doc comment:
+//
+//	//netvet:epochorder seal drain fence install
+//
+// and marks the statement performing each step with a line marker on
+// the line above (or trailing on the same line):
+//
+//	//netvet:epoch drain
+//	for _, s := range *c.slots.Load() { ... }
+//
+// A marker may carry several steps when one statement performs them
+// together (e.g. `//netvet:epoch fence install` on a call to a helper
+// that is itself checked with its own //netvet:epochorder directive);
+// multiple words follow the declared order.
+//
+// For every ordered pair of declared steps (A before B), the analyzer
+// walks the function's control-flow graph from the entry and reports
+// any B-marked statement reachable without passing an A-marked one.
+// Every declared step must be marked at least once, marker words must
+// come from the declared list, and markers outside a directive-bearing
+// function are flagged. goto and labels make dominance ambiguous and
+// are rejected: protocol functions must be simple by construction.
+package epochorder
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"countnet/internal/analysis"
+)
+
+// Analyzer is the epochorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "epochorder",
+	Doc: "check that //netvet:epochorder functions perform their protocol steps in order on every path\n\n" +
+		"Functions declaring `//netvet:epochorder seal drain fence install` must mark each\n" +
+		"step with a `//netvet:epoch <step>` line marker; the analyzer reports any later\n" +
+		"step reachable through the CFG before an earlier one (e.g. install before drain).",
+	Run: run,
+}
+
+const (
+	directivePrefix = "//netvet:epochorder"
+	markerPrefix    = "//netvet:epoch"
+)
+
+// marker is one //netvet:epoch comment.
+type marker struct {
+	pos   token.Pos
+	file  string
+	line  int
+	steps []string
+	used  bool
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	markers := collectMarkers(pass)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			steps, ok := directiveSteps(fd.Doc)
+			if !ok {
+				continue
+			}
+			checkFunc(pass, fd, steps, markers)
+		}
+	}
+
+	for _, m := range markers {
+		if !m.used {
+			pass.Reportf(m.pos,
+				"epochorder: %s marker outside a %s function", markerPrefix, directivePrefix)
+		}
+	}
+	return nil, nil
+}
+
+// collectMarkers gathers every //netvet:epoch comment. Words stop at
+// an embedded "//" or "--" so trailing commentary does not become
+// step names.
+func collectMarkers(pass *analysis.Pass) []*marker {
+	var out []*marker
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				rest, ok := strings.CutPrefix(text, markerPrefix)
+				if !ok || strings.HasPrefix(rest, "order") {
+					continue // not a marker (or the directive itself)
+				}
+				posn := pass.Fset.Position(c.Pos())
+				out = append(out, &marker{
+					pos:   c.Pos(),
+					file:  posn.Filename,
+					line:  posn.Line,
+					steps: cutWords(rest),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// directiveSteps extracts the declared step list from a doc comment,
+// reporting whether the directive is present.
+func directiveSteps(doc *ast.CommentGroup) ([]string, bool) {
+	if doc == nil {
+		return nil, false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if rest, ok := strings.CutPrefix(text, directivePrefix); ok {
+			return cutWords(rest), true
+		}
+	}
+	return nil, false
+}
+
+// cutWords splits rest into words, stopping at "--" (reason
+// separator) or "//" (nested comment, e.g. fixture want markers).
+func cutWords(rest string) []string {
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = rest[:i]
+	}
+	if i := strings.Index(rest, "//"); i >= 0 {
+		rest = rest[:i]
+	}
+	return strings.Fields(rest)
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, steps []string, markers []*marker) {
+	if len(steps) == 0 {
+		pass.Reportf(fd.Pos(), "epochorder: %s directive lists no steps", directivePrefix)
+		return
+	}
+	declared := map[string]int{}
+	for i, s := range steps {
+		if _, dup := declared[s]; dup {
+			pass.Reportf(fd.Pos(), "epochorder: duplicate step %q in %s", s, fd.Name.Name)
+			return
+		}
+		declared[s] = i
+	}
+	if fd.Body == nil {
+		pass.Reportf(fd.Pos(), "epochorder: %s on a function with no body", directivePrefix)
+		return
+	}
+
+	// Bind markers inside this function's line range. A marker covers
+	// its own line (trailing form) and the next (line-above form).
+	start := pass.Fset.Position(fd.Body.Pos())
+	end := pass.Fset.Position(fd.Body.End())
+	byLine := map[int][]string{}
+	marked := map[string]bool{}
+	for _, m := range markers {
+		if m.file != start.Filename || m.line < start.Line || m.line > end.Line {
+			continue
+		}
+		m.used = true
+		for _, s := range m.steps {
+			if _, ok := declared[s]; !ok {
+				pass.Reportf(m.pos,
+					"epochorder: step %q is not declared by %s's %s directive", s, fd.Name.Name, directivePrefix)
+				continue
+			}
+			marked[s] = true
+			byLine[m.line] = append(byLine[m.line], s)
+			byLine[m.line+1] = append(byLine[m.line+1], s)
+		}
+	}
+	for _, s := range steps {
+		if !marked[s] {
+			pass.Reportf(fd.Pos(),
+				"epochorder: step %q declared but never marked in %s (add a %s %s line marker)", s, fd.Name.Name, markerPrefix, s)
+		}
+	}
+
+	cfg := buildCFG(fd.Body, func(pos token.Pos) []string {
+		return byLine[pass.Fset.Position(pos).Line]
+	})
+	if cfg.unsupported {
+		pass.Reportf(fd.Pos(),
+			"epochorder: unsupported control flow (goto or label) in %s; cannot prove protocol order", fd.Name.Name)
+		return
+	}
+
+	for i, a := range steps {
+		for _, b := range steps[i+1:] {
+			checkPair(pass, fd, cfg.entry, a, b, steps)
+		}
+	}
+}
+
+// checkPair reports the first statement marked b that is reachable
+// from the entry without passing a statement marked a. A node marked
+// with both performs them in declared order and satisfies the pair.
+func checkPair(pass *analysis.Pass, fd *ast.FuncDecl, entry *node, a, b string, steps []string) {
+	seen := map[*node]bool{}
+	var dfs func(n *node) bool // true once a violation is reported
+	dfs = func(n *node) bool {
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+		if n.has(a) {
+			return false // a performed: everything beyond is ordered
+		}
+		if n.has(b) {
+			pass.Reportf(n.pos,
+				"epochorder: step %q reachable before step %q in %s (protocol order: %s)",
+				b, a, fd.Name.Name, strings.Join(steps, " "))
+			return true
+		}
+		for _, s := range n.succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	dfs(entry)
+}

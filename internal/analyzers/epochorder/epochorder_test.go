@@ -1,0 +1,12 @@
+package epochorder_test
+
+import (
+	"testing"
+
+	"countnet/internal/analysis/analysistest"
+	"countnet/internal/analyzers/epochorder"
+)
+
+func TestEpochorderFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", epochorder.Analyzer, "a")
+}

@@ -1,0 +1,137 @@
+// Package a exercises the epochorder analyzer: in-order protocols
+// across branches and loops, the seeded install-before-drain mutant,
+// and the directive/marker validity checks.
+package a
+
+import "sync/atomic"
+
+type epoch struct {
+	sealed atomic.Bool
+	active atomic.Int64
+}
+
+type ctr struct {
+	base int64
+	cur  atomic.Pointer[epoch]
+}
+
+// good performs the full protocol in order on the straight line.
+//
+//netvet:epochorder seal drain fence install
+func (c *ctr) good(e *epoch) {
+	//netvet:epoch seal
+	e.sealed.Store(true)
+	//netvet:epoch drain
+	for e.active.Load() != 0 {
+	}
+	//netvet:epoch fence
+	c.base++
+	//netvet:epoch install
+	c.cur.Store(&epoch{})
+}
+
+// goodBranch: early return before the protocol starts is fine, and a
+// combined fence+install marker on one statement follows declared
+// order.
+//
+//netvet:epochorder seal drain fence install
+func (c *ctr) goodBranch(e *epoch, skip bool) {
+	if skip {
+		return
+	}
+	//netvet:epoch seal
+	e.sealed.Store(true)
+	if e.active.Load() == 0 {
+		//netvet:epoch drain fence install
+		c.cur.Store(&epoch{})
+		return
+	}
+	//netvet:epoch drain
+	for e.active.Load() != 0 {
+	}
+	//netvet:epoch fence
+	c.base++
+	//netvet:epoch install
+	c.cur.Store(&epoch{})
+}
+
+// viaSwitch: every switch arm installs after the seal.
+//
+//netvet:epochorder seal install
+func (c *ctr) viaSwitch(e *epoch, mode int) {
+	//netvet:epoch seal
+	e.sealed.Store(true)
+	switch mode {
+	case 0:
+		//netvet:epoch install
+		c.cur.Store(&epoch{})
+	default:
+		//netvet:epoch install
+		c.cur.Store(nil)
+	}
+}
+
+// mutant is the seeded reorder: install runs before drain.
+//
+//netvet:epochorder seal drain install
+func (c *ctr) mutant(e *epoch) {
+	//netvet:epoch seal
+	e.sealed.Store(true)
+	//netvet:epoch install
+	c.cur.Store(&epoch{}) // want `epochorder: step "install" reachable before step "drain"`
+	//netvet:epoch drain
+	for e.active.Load() != 0 {
+	}
+}
+
+// skipsDrain: one branch bypasses the drain entirely.
+//
+//netvet:epochorder seal drain install
+func (c *ctr) skipsDrain(e *epoch, fast bool) {
+	//netvet:epoch seal
+	e.sealed.Store(true)
+	if !fast {
+		//netvet:epoch drain
+		for e.active.Load() != 0 {
+		}
+	}
+	//netvet:epoch install
+	c.cur.Store(&epoch{}) // want `epochorder: step "install" reachable before step "drain"`
+}
+
+//netvet:epochorder seal drain
+func (c *ctr) unmarked(e *epoch) { // want `epochorder: step "drain" declared but never marked in unmarked`
+	//netvet:epoch seal
+	e.sealed.Store(true)
+}
+
+//netvet:epochorder seal
+func (c *ctr) unknownWord(e *epoch) {
+	//netvet:epoch seal sealx // want `epochorder: step "sealx" is not declared`
+	e.sealed.Store(true)
+}
+
+func (c *ctr) stray(e *epoch) {
+	//netvet:epoch seal // want `epochorder: //netvet:epoch marker outside a //netvet:epochorder function`
+	e.sealed.Store(true)
+}
+
+//netvet:epochorder seal drain
+func (c *ctr) gotos(e *epoch) { // want `epochorder: unsupported control flow \(goto or label\) in gotos`
+	//netvet:epoch seal
+	e.sealed.Store(true)
+	goto done
+done:
+	//netvet:epoch drain
+	for e.active.Load() != 0 {
+	}
+}
+
+//netvet:epochorder seal seal
+func (c *ctr) dup(e *epoch) { // want `epochorder: duplicate step "seal" in dup`
+	e.sealed.Store(true)
+}
+
+//netvet:epochorder
+func (c *ctr) empty() { // want `epochorder: //netvet:epochorder directive lists no steps`
+}

@@ -1,0 +1,377 @@
+// Package hotpath polices functions annotated as steady-state hot
+// paths.
+//
+// A function opts in by carrying
+//
+//	//netvet:hotpath
+//
+// in its doc comment. The annotation is a claim: this function is on
+// the per-token/per-value fast path, stays a handful of instructions
+// per step, and allocates nothing in steady state. The analyzer
+// rejects the constructs that silently break that claim:
+//
+//   - defer: costs a frame record per call even when inlined away of
+//     late; hot functions release resources with straight-line code;
+//   - map and channel operations (index, range, send, receive,
+//     select, make, delete, close, literals): hash work, runtime
+//     calls, and potential blocking have no place in a balancer step;
+//   - interface conversions, explicit or implicit (call arguments,
+//     assignments, returns) and type assertions: boxing a concrete
+//     value into an interface is how "zero-alloc" paths grow an
+//     allocation per token;
+//   - closures capturing enclosing locals: the captured variable is
+//     forced to the heap;
+//   - string concatenation and any call into fmt: both allocate;
+//   - append without an explicit `//netvet:allow append` on the line:
+//     growth must be an audited, amortized event (pool storage,
+//     pre-sized scratch), never an accident.
+//
+// Arguments of panic calls are exempt: panic paths are cold by
+// definition, and their diagnostics (fmt.Sprintf in a bounds message)
+// say nothing about steady state. `//netvet:allow hotpath -- reason`
+// waives any finding on its line; `//netvet:allow append -- reason`
+// waives specifically the append check.
+//
+// The static check is one half of the proof; `netvet -escape` replays
+// the compiler's escape analysis over the same annotations and fails
+// if anything in a hot function escapes to the heap (see
+// internal/analysis/escape.go).
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"countnet/internal/analysis"
+)
+
+// Directive marks a function as a proven hot path in its doc comment.
+const Directive = "//netvet:hotpath"
+
+// Analyzer is the hotpath pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "reject allocation and runtime-call hazards in //netvet:hotpath functions\n\n" +
+		"Annotated functions may not contain defers, map or channel operations,\n" +
+		"interface conversions, closures capturing locals, string concatenation,\n" +
+		"fmt calls, or un-annotated appends. Panic arguments are exempt (cold path);\n" +
+		"//netvet:allow hotpath and //netvet:allow append waive findings per line.",
+	Run: run,
+}
+
+// HasDirective reports whether doc carries the //netvet:hotpath
+// marker. Shared with the escape prover so both tools agree on what
+// "annotated" means.
+func HasDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == Directive {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	allows := analysis.CollectAllows(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !HasDirective(fd.Doc) {
+				continue
+			}
+			c := &checker{pass: pass, fd: fd, allows: allows}
+			ast.Inspect(fd.Body, c.visit)
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	fd     *ast.FuncDecl
+	allows analysis.Allows
+}
+
+// report emits a finding unless the line carries a hotpath allow (or
+// the check-specific word, when one exists).
+func (c *checker) report(pos token.Pos, word, format string, args ...any) {
+	if c.allows.Allowed(c.pass.Fset, pos, "hotpath") {
+		return
+	}
+	if word != "" && c.allows.Allowed(c.pass.Fset, pos, word) {
+		return
+	}
+	args = append(args, c.fd.Name.Name)
+	c.pass.Reportf(pos, "hotpath: "+format+" in //netvet:hotpath function %s", args...)
+}
+
+func (c *checker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.DeferStmt:
+		c.report(n.Pos(), "", "defer")
+	case *ast.CallExpr:
+		return c.call(n)
+	case *ast.TypeAssertExpr:
+		// Type-switch guards (Type == nil) are handled via the
+		// enclosing TypeSwitchStmt so the message names the construct.
+		if n.Type != nil {
+			c.report(n.Pos(), "", "interface type assertion")
+		}
+	case *ast.TypeSwitchStmt:
+		c.report(n.Pos(), "", "type switch")
+	case *ast.IndexExpr:
+		if isMap(c.typeOf(n.X)) {
+			c.report(n.Pos(), "", "map index")
+		}
+	case *ast.RangeStmt:
+		if t := c.typeOf(n.X); isMap(t) {
+			c.report(n.Pos(), "", "range over map")
+		} else if isChan(t) {
+			c.report(n.Pos(), "", "range over channel")
+		}
+	case *ast.SendStmt:
+		c.report(n.Pos(), "", "channel send")
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW {
+			c.report(n.Pos(), "", "channel receive")
+		}
+	case *ast.SelectStmt:
+		c.report(n.Pos(), "", "select")
+	case *ast.CompositeLit:
+		if isMap(c.typeOf(n)) {
+			c.report(n.Pos(), "", "map literal")
+		}
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && c.isNonConstString(n) {
+			c.report(n.Pos(), "", "string concatenation")
+		}
+	case *ast.AssignStmt:
+		c.assign(n)
+	case *ast.ReturnStmt:
+		c.returnStmt(n)
+	case *ast.FuncLit:
+		if name := c.captured(n); name != "" {
+			c.report(n.Pos(), "", "closure capturing local %q", name)
+		}
+		// Keep walking: the literal's body runs on the hot path too.
+	}
+	return true
+}
+
+// call checks one call expression; the return value tells ast.Inspect
+// whether to descend into the call's children.
+func (c *checker) call(call *ast.CallExpr) bool {
+	// Builtins first.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "panic":
+				// Panic paths are cold by definition; nothing inside
+				// the argument list counts against the hot path.
+				return false
+			case "append":
+				c.report(call.Pos(), "append",
+					"append (growth must be audited: annotate //netvet:allow append -- reason)")
+			case "delete":
+				c.report(call.Pos(), "", "map delete")
+			case "close":
+				c.report(call.Pos(), "", "channel close")
+			case "make":
+				if t := c.typeOf(call); isMap(t) {
+					c.report(call.Pos(), "", "map make")
+				} else if isChan(t) {
+					c.report(call.Pos(), "", "channel make")
+				}
+			}
+			return true
+		}
+	}
+	// Conversions: T(x) boxing a concrete value into an interface.
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && c.boxes(tv.Type, call.Args[0]) {
+			c.report(call.Pos(), "", "interface conversion")
+		}
+		return true
+	}
+	// fmt is allocation by construction (boxed variadics, buffers).
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := c.pass.TypesInfo.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				c.report(call.Pos(), "", "fmt.%s call", sel.Sel.Name)
+			}
+		}
+	}
+	// Implicit boxing at call arguments.
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.Type != nil {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			c.callArgs(call, sig)
+		}
+	}
+	return true
+}
+
+// callArgs flags concrete arguments passed to interface-typed
+// parameters (the hidden allocation of variadic printf-style APIs).
+func (c *checker) callArgs(call *ast.CallExpr, sig *types.Signature) {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		var dst types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				// s... forwards the slice unchanged.
+				continue
+			}
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				dst = sl.Elem()
+			}
+		case i < params.Len():
+			dst = params.At(i).Type()
+		}
+		if c.boxes(dst, arg) {
+			c.report(arg.Pos(), "", "implicit interface conversion (argument)")
+		}
+	}
+}
+
+func (c *checker) assign(as *ast.AssignStmt) {
+	if as.Tok == token.DEFINE {
+		// := gives the variable the RHS type; no boxing possible.
+		return
+	}
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 && isString(c.typeOf(as.Lhs[0])) {
+		c.report(as.Pos(), "", "string concatenation")
+		return
+	}
+	if as.Tok != token.ASSIGN || len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		if c.boxes(c.typeOf(lhs), as.Rhs[i]) {
+			c.report(as.Rhs[i].Pos(), "", "implicit interface conversion (assignment)")
+		}
+	}
+}
+
+func (c *checker) returnStmt(ret *ast.ReturnStmt) {
+	if c.fd.Type.Results == nil {
+		return
+	}
+	var resultTypes []types.Type
+	for _, field := range c.fd.Type.Results.List {
+		t := c.typeOf(field.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for j := 0; j < n; j++ {
+			resultTypes = append(resultTypes, t)
+		}
+	}
+	if len(ret.Results) != len(resultTypes) {
+		return // naked return or multi-value forward: nothing new boxed here
+	}
+	for i, r := range ret.Results {
+		if c.boxes(resultTypes[i], r) {
+			c.report(r.Pos(), "", "implicit interface conversion (return)")
+		}
+	}
+}
+
+// captured returns the name of an enclosing-function local the
+// literal captures by reference, or "".
+func (c *checker) captured(fl *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured ⇔ declared inside the enclosing function (receiver,
+		// parameters, or body) but outside the literal itself.
+		if v.Pos() >= c.fd.Pos() && v.Pos() < c.fd.End() &&
+			!(v.Pos() >= fl.Pos() && v.Pos() < fl.End()) {
+			name = v.Name()
+		}
+		return true
+	})
+	return name
+}
+
+func (c *checker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := c.pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// boxes reports whether assigning src into a dst-typed slot converts
+// a concrete value to an interface. Type parameters and nil are not
+// boxing; interface-to-interface conversions are runtime calls but
+// not allocations and are left to the type-assertion check.
+func (c *checker) boxes(dst types.Type, src ast.Expr) bool {
+	if dst == nil || !types.IsInterface(dst) {
+		return false
+	}
+	if _, ok := dst.(*types.TypeParam); ok {
+		return false
+	}
+	tv, ok := c.pass.TypesInfo.Types[src]
+	if !ok || tv.IsNil() || tv.Type == nil {
+		return false
+	}
+	if _, ok := tv.Type.(*types.TypeParam); ok {
+		return false
+	}
+	return !types.IsInterface(tv.Type)
+}
+
+func (c *checker) isNonConstString(e *ast.BinaryExpr) bool {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.Value != nil {
+		return false // folded at compile time
+	}
+	return isString(tv.Type)
+}
+
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

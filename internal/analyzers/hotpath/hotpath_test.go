@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"countnet/internal/analysis/analysistest"
+	"countnet/internal/analyzers/hotpath"
+)
+
+func TestHotpathFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpath.Analyzer, "a")
+}

@@ -1,0 +1,155 @@
+// Package a exercises the hotpath analyzer: every construct the
+// check bans, its allow escapes, and the panic-argument exemption.
+package a
+
+import "fmt"
+
+// sum is a clean hot path: straight-line integer work; the panic
+// argument (an fmt.Sprintf) is exempt because panic paths are cold.
+//
+//netvet:hotpath
+func sum(vals []int64) int64 {
+	var s int64
+	for _, v := range vals {
+		s += v
+	}
+	if s < 0 {
+		panic(fmt.Sprintf("negative sum %d", s))
+	}
+	return s
+}
+
+// cold is unannotated: anything goes.
+func cold(m map[string]int) string {
+	defer fmt.Println("bye")
+	s := ""
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+//netvet:hotpath
+func deferred(f func()) {
+	defer f() // want `hotpath: defer in //netvet:hotpath function deferred`
+}
+
+//netvet:hotpath
+func mapping(m map[string]int, k string) int {
+	return m[k] // want `hotpath: map index`
+}
+
+//netvet:hotpath
+func mapMake() map[string]int {
+	return make(map[string]int) // want `hotpath: map make`
+}
+
+//netvet:hotpath
+func mapRange(m map[string]int) int {
+	t := 0
+	for _, v := range m { // want `hotpath: range over map`
+		t += v
+	}
+	delete(m, "k") // want `hotpath: map delete`
+	return t
+}
+
+//netvet:hotpath
+func channels(ch chan int) int {
+	ch <- 1   // want `hotpath: channel send`
+	v := <-ch // want `hotpath: channel receive`
+	close(ch) // want `hotpath: channel close`
+	return v
+}
+
+//netvet:hotpath
+func chanMake() chan int {
+	return make(chan int, 1) // want `hotpath: channel make`
+}
+
+//netvet:hotpath
+func selects() {
+	select { // want `hotpath: select`
+	default:
+	}
+}
+
+type boxer interface{ M() }
+
+type impl struct{}
+
+func (impl) M() {}
+
+//netvet:hotpath
+func converts(i impl) boxer {
+	var b boxer
+	b = i // want `hotpath: implicit interface conversion \(assignment\)`
+	_ = b
+	return i // want `hotpath: implicit interface conversion \(return\)`
+}
+
+//netvet:hotpath
+func explicitConv(i impl) boxer {
+	return boxer(i) // want `hotpath: interface conversion`
+}
+
+//netvet:hotpath
+func argBox(v int64) {
+	sink(v) // want `hotpath: implicit interface conversion \(argument\)`
+}
+
+func sink(any) {}
+
+//netvet:hotpath
+func asserts(b boxer) impl {
+	return b.(impl) // want `hotpath: interface type assertion`
+}
+
+//netvet:hotpath
+func typeswitch(b boxer) int {
+	switch b.(type) { // want `hotpath: type switch`
+	default:
+		return 0
+	}
+}
+
+//netvet:hotpath
+func capture(n int) func() int {
+	return func() int { return n } // want `hotpath: closure capturing local "n"`
+}
+
+//netvet:hotpath
+func nocapture() func() int {
+	return func() int { return 42 }
+}
+
+//netvet:hotpath
+func concat(a, b string) string {
+	return a + b // want `hotpath: string concatenation`
+}
+
+//netvet:hotpath
+func constConcat() string {
+	return "a" + "b" // folded at compile time: fine
+}
+
+//netvet:hotpath
+func formats(v int64) string {
+	return fmt.Sprintf("%d", v) // want `hotpath: fmt.Sprintf call` `hotpath: implicit interface conversion \(argument\)`
+}
+
+//netvet:hotpath
+func appends(dst []int64, v int64) []int64 {
+	return append(dst, v) // want `hotpath: append`
+}
+
+//netvet:hotpath
+func appendAllowed(dst []int64, v int64) []int64 {
+	//netvet:allow append -- growth is amortized and audited here
+	return append(dst, v)
+}
+
+//netvet:hotpath
+func allowAll(m map[string]int, k string) int {
+	return m[k] //netvet:allow hotpath -- fixture demonstrating the blanket waiver
+}

@@ -1,0 +1,16 @@
+package a
+
+// Second fixture file: directives and //netvet:allow annotations are
+// collected package-wide, so multi-file packages behave like
+// single-file ones.
+
+//netvet:hotpath
+func otherFile(ch chan int) {
+	ch <- 2 // want `hotpath: channel send`
+}
+
+//netvet:hotpath
+func otherFileAllowed(dst []byte, b byte) []byte {
+	//netvet:allow append -- scratch buffer growth audited in file two
+	return append(dst, b)
+}

@@ -58,7 +58,7 @@ var Analyzer = &analysis.Analyzer{
 
 const (
 	marker      = "//netvet:sched-instrumented"
-	allowPrefix = "//netvet:allow"
+	allowPrefix = analysis.AllowPrefix
 )
 
 // forbiddenTime lists the time package functions that read the real
@@ -77,28 +77,11 @@ var allowedRand = map[string]bool{
 
 func run(pass *analysis.Pass) (any, error) {
 	instrumented := false
-	// allows maps file name → line → set of allow words on or just
-	// above that line.
-	allows := map[string]map[int][]string{}
 	for _, f := range pass.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimSpace(c.Text)
-				if text == marker {
+				if strings.TrimSpace(c.Text) == marker {
 					instrumented = true
-				}
-				if rest, ok := strings.CutPrefix(text, allowPrefix); ok {
-					words := strings.Fields(rest)
-					posn := pass.Fset.Position(c.Pos())
-					m := allows[posn.Filename]
-					if m == nil {
-						m = map[int][]string{}
-						allows[posn.Filename] = m
-					}
-					// The annotation covers its own line and the next:
-					// both `go func() { // allow` and a line-above form.
-					m[posn.Line] = append(m[posn.Line], words...)
-					m[posn.Line+1] = append(m[posn.Line+1], words...)
 				}
 			}
 		}
@@ -107,14 +90,9 @@ func run(pass *analysis.Pass) (any, error) {
 		return nil, nil
 	}
 
+	allows := analysis.CollectAllows(pass.Fset, pass.Files)
 	allowed := func(pos token.Pos, word string) bool {
-		posn := pass.Fset.Position(pos)
-		for _, w := range allows[posn.Filename][posn.Line] {
-			if w == word {
-				return true
-			}
-		}
-		return false
+		return allows.Allowed(pass.Fset, pos, word)
 	}
 
 	for _, f := range pass.Files {

@@ -392,6 +392,8 @@ type AdaptiveHandle struct {
 
 // Next returns the next value, serving from the handle's prefetch
 // buffer and refilling it from the active engine when empty.
+//
+//netvet:hotpath
 func (h *AdaptiveHandle) Next() int64 {
 	if h.n > 0 {
 		v := h.buf[h.pos]
@@ -404,6 +406,8 @@ func (h *AdaptiveHandle) Next() int64 {
 
 // refill draws one prefetch block through the epoch protocol, serves
 // the first value and buffers the rest.
+//
+//netvet:hotpath
 func (h *AdaptiveHandle) refill() int64 {
 	e := h.enter()
 	b := h.c.prefetch(e.kind)
@@ -421,6 +425,8 @@ func (h *AdaptiveHandle) refill() int64 {
 
 // NextBlock fills dst with len(dst) fresh values in one draw against
 // the active engine (bypassing the prefetch buffer).
+//
+//netvet:hotpath
 func (h *AdaptiveHandle) NextBlock(dst []int64) {
 	if len(dst) == 0 {
 		return
@@ -448,6 +454,8 @@ func (h *AdaptiveHandle) Unserved() []int64 {
 // the switcher seals before scanning slots, so either we see the seal
 // and retry, or the switcher sees our publish and waits for us to
 // retire (Dekker handshake).
+//
+//netvet:hotpath
 func (h *AdaptiveHandle) enter() *adaptiveEpoch {
 	s, c := h.slot, h.c
 	for {
@@ -465,6 +473,8 @@ func (h *AdaptiveHandle) enter() *adaptiveEpoch {
 }
 
 // draw routes a pinned draw to the epoch's engine.
+//
+//netvet:hotpath
 func (h *AdaptiveHandle) draw(e *adaptiveEpoch, dst []int64) {
 	switch e.kind {
 	case EngineAtomic:
@@ -482,6 +492,12 @@ func (h *AdaptiveHandle) draw(e *adaptiveEpoch, dst []int64) {
 // Safe to call concurrently with draws and other switches.
 func (c *AdaptiveCounter) SwitchTo(kind EngineKind) { c.switchTo(kind, "manual") }
 
+// switchTo performs the epoch handoff. The step markers below are
+// checked by netvet's epochorder analyzer: every path to a later step
+// must pass through the earlier ones, so a reordering (or a branch
+// that skips the drain) fails `make lint`.
+//
+//netvet:epochorder seal drain fence install
 func (c *AdaptiveCounter) switchTo(kind EngineKind, reason string) bool {
 	if kind < 0 || kind >= numEngineKinds {
 		panic(fmt.Sprintf("countnet/counter: unknown engine kind %d", kind))
@@ -492,17 +508,20 @@ func (c *AdaptiveCounter) switchTo(kind EngineKind, reason string) bool {
 	if e.kind == kind {
 		return false
 	}
+	//netvet:epoch seal
 	e.sealed.Store(true)
 	// Drain: every handle mid-draw in e has published e in its slot
 	// (publish precedes its seal check, seq-cst); wait until each has
 	// retired. Handles that published after seeing the seal unpublish
 	// and retry, so this terminates as soon as in-flight draws finish.
+	//netvet:epoch drain
 	for _, s := range *c.slots.Load() {
 		for s.active.Load() == e {
 			//netvet:allow gosched
 			runtime.Gosched()
 		}
 	}
+	//netvet:epoch fence install
 	c.install(e, kind, reason)
 	return true
 }
@@ -510,8 +529,15 @@ func (c *AdaptiveCounter) switchTo(kind EngineKind, reason string) bool {
 // install reads the sealed epoch's fence, folds it into the base, and
 // publishes the next epoch. Caller must have sealed e and drained
 // every slot (holding either switchMu or the cooperative hook lock).
+// The fence read must precede the epoch publish — installing first
+// would let new draws move the outgoing engine's issued count after
+// the base was computed, minting duplicate values.
+//
+//netvet:epochorder fence install
 func (c *AdaptiveCounter) install(e *adaptiveEpoch, kind EngineKind, reason string) {
+	//netvet:epoch fence
 	c.base = e.offset + c.engineIssued(e.kind)
+	//netvet:epoch install
 	c.cur.Store(&adaptiveEpoch{kind: kind, offset: c.base - c.engineIssued(kind)})
 	c.switches.Add(1)
 	if o := c.watch; o != nil {
@@ -564,7 +590,11 @@ func (h *AdaptiveHandle) NextHooked(yield func(op string), block func(op string,
 // SwitchToHooked is SwitchTo with schedule instrumentation: the switch
 // lock becomes a cooperative flag, the drain parks on each slot via
 // block. For package sched; do not mix with unhooked switches in a
-// controlled run.
+// controlled run. The drain marker sits on the unsafeNoDrain guard:
+// the guard itself is on every path (the skip is a runtime flag tests
+// flip deliberately, not a code-level reordering).
+//
+//netvet:epochorder seal drain fence install
 func (c *AdaptiveCounter) SwitchToHooked(kind EngineKind, yield func(op string), block func(op string, ready func() bool)) {
 	block("switch lock", func() bool { return !c.hookSwitching })
 	c.hookSwitching = true
@@ -575,7 +605,9 @@ func (c *AdaptiveCounter) SwitchToHooked(kind EngineKind, yield func(op string),
 		return
 	}
 	yield("seal")
+	//netvet:epoch seal
 	e.sealed.Store(true)
+	//netvet:epoch drain
 	if !c.unsafeNoDrain {
 		for i, s := range *c.slots.Load() {
 			s := s
@@ -583,6 +615,7 @@ func (c *AdaptiveCounter) SwitchToHooked(kind EngineKind, yield func(op string),
 		}
 	}
 	yield("install")
+	//netvet:epoch fence install
 	c.install(e, kind, "hooked")
 	c.hookSwitching = false
 }

@@ -122,18 +122,23 @@ func (c *NetworkCounter) EnableObs(name string, r *obs.Registry) *obs.CounterObs
 // token even enters the network. Handle is the fast path — it cycles
 // entry wires privately, touching no shared state outside the network
 // itself (pinned by TestHandleBypassesSharedDispatch).
+//
+//netvet:hotpath
 func (c *NetworkCounter) Next() int64 {
 	wire := int((c.entry.Add(1) - 1) % c.width64)
 	return c.nextOn(wire)
 }
 
 // NextBlock fills dst with len(dst) values via the shared dispatcher.
+//
+//netvet:hotpath
 func (c *NetworkCounter) NextBlock(dst []int64) {
 	for i := range dst {
 		dst[i] = c.Next()
 	}
 }
 
+//netvet:hotpath
 func (c *NetworkCounter) nextOn(wire int) int64 {
 	if o := c.watch; o != nil {
 		return c.nextOnObs(wire, o)
@@ -151,6 +156,8 @@ func (c *NetworkCounter) nextOn(wire int) int64 {
 // nextOnObs is nextOn with observability: same traversal and value
 // arithmetic (the traversal's own recording happens inside Async),
 // plus the end-to-end latency sample and ops count.
+//
+//netvet:hotpath
 func (c *NetworkCounter) nextOnObs(wire int, o *obs.CounterObs) int64 {
 	start := obs.Now()
 	var pos int
@@ -201,6 +208,7 @@ type handle struct {
 	pos int
 }
 
+//netvet:hotpath
 func (h *handle) Next() int64 {
 	wire := h.pos
 	h.pos++
@@ -211,6 +219,8 @@ func (h *handle) Next() int64 {
 }
 
 // NextBlock fills dst with len(dst) values, one token each.
+//
+//netvet:hotpath
 func (h *handle) NextBlock(dst []int64) {
 	for i := range dst {
 		dst[i] = h.Next()
@@ -250,9 +260,13 @@ type AtomicCounter struct {
 func NewAtomicCounter() *AtomicCounter { return &AtomicCounter{} }
 
 // Next returns the next value.
+//
+//netvet:hotpath
 func (c *AtomicCounter) Next() int64 { return c.v.Add(1) - 1 }
 
 // NextBlock claims len(dst) consecutive values with one fetch-and-add.
+//
+//netvet:hotpath
 func (c *AtomicCounter) NextBlock(dst []int64) {
 	k := int64(len(dst))
 	base := c.v.Add(k) - k
@@ -276,6 +290,8 @@ type MutexCounter struct {
 func NewMutexCounter() *MutexCounter { return &MutexCounter{} }
 
 // Next returns the next value.
+//
+//netvet:hotpath
 func (c *MutexCounter) Next() int64 {
 	c.mu.Lock()
 	v := c.v
@@ -285,6 +301,8 @@ func (c *MutexCounter) Next() int64 {
 }
 
 // NextBlock claims len(dst) consecutive values under one lock hold.
+//
+//netvet:hotpath
 func (c *MutexCounter) NextBlock(dst []int64) {
 	c.mu.Lock()
 	base := c.v

@@ -68,6 +68,8 @@ func BucketUpper(i int) int64 {
 // Observe records one sample. Negative samples are clamped to zero
 // (they can only arise from clock anomalies). Safe for concurrent use;
 // performs no allocation.
+//
+//netvet:hotpath
 func (h *Hist) Observe(v int64) {
 	if v < 0 {
 		v = 0
@@ -96,6 +98,8 @@ func (h *Hist) Observe(v int64) {
 //	start := obs.Now()
 //	... phase ...
 //	h.ObserveSince(start)
+//
+//netvet:hotpath
 func (h *Hist) ObserveSince(start int64) { h.Observe(Now() - start) }
 
 // HistSnapshot is an atomic-free copy of a histogram's state. Buckets

@@ -32,6 +32,10 @@ func Do(network, phase string, f func()) {
 		func(context.Context) { f() })
 }
 
+// TraceRegion aliases runtime/trace.Region so callers can hold a
+// region returned by Region without importing runtime/trace.
+type TraceRegion = trace.Region
+
 // Region starts a runtime/trace region for a traversal phase. Callers
 // must End the returned region. Cheap when tracing is disabled.
 func Region(phase string) *trace.Region {

@@ -61,13 +61,19 @@ func NewNetObs(name string, gateLayer []int32) *NetObs {
 func (o *NetObs) Name() string { return o.name }
 
 // GateToken records one token routed through gate g.
+//
+//netvet:hotpath
 func (o *NetObs) GateToken(g int32) { o.gates[g].tokens.Add(1) }
 
 // GateTokens records n tokens routed through gate g in one batch.
+//
+//netvet:hotpath
 func (o *NetObs) GateTokens(g int, n int64) { o.gates[g].tokens.Add(n) }
 
 // GateContended records a lock-mode acquisition of gate g that found
 // the balancer already held.
+//
+//netvet:hotpath
 func (o *NetObs) GateContended(g int32) { o.gates[g].contended.Add(1) }
 
 // GroupSnapshot implements Source.

@@ -31,6 +31,8 @@ var epoch = time.Now()
 // Now returns monotonic nanoseconds since process start, the timebase
 // of every latency histogram. Centralizing the clock read here keeps
 // the sched-instrumented packages free of direct time calls.
+//
+//netvet:hotpath
 func Now() int64 { return int64(time.Since(epoch)) }
 
 // PaddedCount is a cache-line-isolated event counter: 128 bytes so two
@@ -45,9 +47,13 @@ type PaddedCount struct {
 }
 
 // Add adds d to the counter.
+//
+//netvet:hotpath
 func (c *PaddedCount) Add(d int64) { c.v.Add(d) }
 
 // Inc adds one.
+//
+//netvet:hotpath
 func (c *PaddedCount) Inc() { c.v.Add(1) }
 
 // Load returns the current value.

@@ -150,6 +150,8 @@ func (a *Async) Obs() *obs.NetObs { return a.watch }
 // Traverse pushes one token into the network on the given entry wire
 // using atomic fetch-and-add balancers, and returns the output-order
 // position on which the token exits. Safe for concurrent use.
+//
+//netvet:hotpath
 func (a *Async) Traverse(entryWire int) int {
 	if o := a.watch; o != nil {
 		return a.traverseObs(entryWire, o)
@@ -181,6 +183,8 @@ func (a *Async) Traverse(entryWire int) int {
 // traverseObs is Traverse with observability recording: identical
 // routing (same balancer accesses in the same order), plus a per-gate
 // token count and a latency sample.
+//
+//netvet:hotpath
 func (a *Async) traverseObs(entryWire int, o *obs.NetObs) int {
 	if entryWire < 0 || entryWire >= a.width {
 		panic(fmt.Sprintf("runner: entry wire %d outside width %d", entryWire, a.width))
@@ -245,8 +249,12 @@ func (a *Async) TraverseHooked(entryWire int, yield func(op string)) int {
 // TraverseMutex is Traverse with lock-based balancers. The two modes
 // share no state; do not mix them on one Async instance within a run.
 // The lock path keeps the plain modulo port computation: it is a
-// measurement baseline, not a hot path, and the independent arithmetic
-// makes it an oracle for the mask fast path in the atomic traversals.
+// measurement baseline, not a hot path in the micro-architectural
+// sense (the independent arithmetic makes it an oracle for the mask
+// fast path in the atomic traversals), but it still must not allocate
+// per token, so it carries the same proof annotation.
+//
+//netvet:hotpath
 func (a *Async) TraverseMutex(entryWire int) int {
 	if o := a.watch; o != nil {
 		return a.traverseMutexObs(entryWire, o)
@@ -274,6 +282,8 @@ func (a *Async) TraverseMutex(entryWire int) int {
 // lock mode contention is directly measurable: a TryLock that fails
 // means the token found the balancer held, counted per gate before
 // falling back to the blocking Lock.
+//
+//netvet:hotpath
 func (a *Async) traverseMutexObs(entryWire int, o *obs.NetObs) int {
 	if entryWire < 0 || entryWire >= a.width {
 		panic(fmt.Sprintf("runner: entry wire %d outside width %d", entryWire, a.width))

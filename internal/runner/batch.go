@@ -54,8 +54,11 @@ func (a *Async) TraverseBatch(entryCounts []int64) []int64 {
 // TraverseBatchInto is TraverseBatch writing exit counts into dst
 // (length Width) and reusing s; it performs zero allocations when s is
 // non-nil. A nil s allocates a fresh scratch. Returns dst.
+//
+//netvet:hotpath
 func (a *Async) TraverseBatchInto(dst, entryCounts []int64, s *BatchScratch) []int64 {
 	if s == nil {
+		//netvet:allow escape -- cold nil-scratch fallback; steady-state callers pass s (pinned by the zero-alloc tests)
 		s = a.NewBatchScratch()
 	}
 	a.batchArgs(dst, entryCounts)
@@ -66,6 +69,7 @@ func (a *Async) TraverseBatchInto(dst, entryCounts []int64, s *BatchScratch) []i
 			total += t
 		}
 		start := obs.Now()
+		//netvet:allow escape -- context.Background's zero-size boxing at trace.StartRegion; no runtime allocation (BenchmarkObsOverhead alloc guard)
 		r := obs.Region("countnet.batch")
 		a.propagate(s.cur, nil, o)
 		r.End()
@@ -100,6 +104,7 @@ func (a *Async) TraverseBatchHooked(entryCounts []int64, yield func(op string)) 
 	return dst
 }
 
+//netvet:hotpath
 func (a *Async) batchArgs(dst, entryCounts []int64) {
 	if len(entryCounts) != a.width {
 		panic(fmt.Sprintf("runner: %d entry counts for width-%d network", len(entryCounts), a.width))
@@ -119,6 +124,8 @@ func (a *Async) batchArgs(dst, entryCounts []int64) {
 // processed, every token later placed on its wires can only meet later
 // gates, so a single in-order pass moves the whole batch. A non-nil o
 // records per-gate token counts (the batch analogue of traverseObs).
+//
+//netvet:hotpath
 func (a *Async) propagate(cur []int64, yield func(op string), o *obs.NetObs) {
 	for gi := range a.gates {
 		g := &a.gates[gi]
@@ -130,6 +137,7 @@ func (a *Async) propagate(cur []int64, yield func(op string), o *obs.NetObs) {
 			continue // untouched gate: no atomic traffic at all
 		}
 		if yield != nil {
+			//netvet:allow hotpath escape -- sched-hooked lane only; production callers pass a nil yield
 			yield(fmt.Sprintf("gate %d", gi))
 		}
 		if o != nil {

@@ -132,21 +132,27 @@ func (p *Plan) NewScratch() *Scratch {
 // OutputOrder[k], i.e. descending for a sorting network). dst and src
 // must have length Width and may alias each other. With a Scratch from
 // NewScratch, Apply performs no allocation; a nil Scratch allocates one.
+//
+//netvet:hotpath
 func (p *Plan) Apply(dst, src []int64, s *Scratch) {
 	if len(src) != p.width || len(dst) != p.width {
 		panic(fmt.Sprintf("runner: plan batch %d/%d for width-%d network", len(src), len(dst), p.width))
 	}
 	if s == nil {
+		//netvet:allow escape -- cold nil-scratch fallback; steady-state callers pass s (pinned by the zero-alloc tests)
 		s = p.NewScratch()
 	}
 	copy(s.vals, src)
 	for l := 0; l < p.numLayers; l++ {
 		p.runLayer(l, s.vals, s.gate)
 	}
+	//netvet:allow escape -- inlined emit re-attributes its panic string's boxing here; a constant string boxes to static data, no runtime allocation
 	p.emit(dst, s.vals)
 }
 
 // emit writes the wire values to dst in output order.
+//
+//netvet:hotpath
 func (p *Plan) emit(dst, vals []int64) {
 	if p.outIdent {
 		copy(dst, vals)
@@ -161,6 +167,8 @@ func (p *Plan) emit(dst, vals []int64) {
 }
 
 // runLayer applies one layer to vals in wire order.
+//
+//netvet:hotpath
 func (p *Plan) runLayer(l int, vals, gate []int64) {
 	p.runPairs(int(p.pairOff[l]), int(p.pairOff[l+1]), vals)
 	p.runWide(int(p.layerWide[l]), int(p.layerWide[l+1]), vals, gate)
@@ -172,6 +180,8 @@ func (p *Plan) runLayer(l int, vals, gate []int64) {
 // the generated straight-line kernels (zkernels.go, built from the
 // verified internal/optnet table); only gates wider than
 // maxKernelWidth gather into the scratch buffer and insertion-sort.
+//
+//netvet:hotpath
 func (p *Plan) runWide(g0, g1 int, vals, gate []int64) {
 	for g := g0; g < g1; g++ {
 		wires := p.wideWires[p.wideOff[g]:p.wideOff[g+1]]
@@ -213,6 +223,8 @@ func (p *Plan) runWide(g0, g1 int, vals, gate []int64) {
 // The branchless min/max form compiles to conditional moves, immune to
 // the ~50% mispredict rate a data-dependent swap suffers on random
 // input.
+//
+//netvet:hotpath
 func (p *Plan) runPairs(j0, j1 int, vals []int64) {
 	pairs := p.pairs[2*j0 : 2*j1]
 	for i := 0; i+1 < len(pairs); i += 2 {
