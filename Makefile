@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench bench-plan bench-counter bench-obs bench-adaptive bench-scenarios bench-smoke obs-smoke scenario-smoke fuzz soak vet fmt lint netvet vet-escape generate generate-check experiments examples clean
+.PHONY: all build test race short bench bench-plan bench-counter bench-obs bench-adaptive bench-scenarios bench-smoke obs-smoke fleet-smoke scenario-smoke fuzz soak vet fmt lint netvet vet-escape generate generate-check experiments examples clean
 
 all: build vet test
 
@@ -86,15 +86,17 @@ bench-counter:
 	$(GO) test -run '^$$' -bench $(BENCH_COUNTER_KEY) -benchmem -benchtime 300ms . \
 		| $(GO) run ./cmd/benchjson -out BENCH_counter.json -set current
 
-# Observability guard lane: the obs=off/obs=on pairs of
-# BenchmarkObsOverhead, recorded to BENCH_obs.json together with the
-# on/off overhead ratios. The obs=off rows pin the disabled-path cost
-# (acceptance: within noise of the seed BenchmarkTraverseParallel /
-# BenchmarkCounterCombining numbers).
+# Observability guard lane: the obs=off/obs=on and flight=off/flight=on
+# pairs of BenchmarkObsOverhead, recorded to BENCH_obs.json together
+# with the on/off overhead ratios. The obs=off rows pin the
+# disabled-path cost (acceptance: within noise of the seed
+# BenchmarkTraverseParallel / BenchmarkCounterCombining numbers); the
+# flight pair pins the recorder at block-lease granularity
+# (acceptance: ratio <= 1.02).
 bench-obs:
 	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchmem -benchtime 300ms . \
 		| $(GO) run ./cmd/benchjson -out BENCH_obs.json -set current -overhead \
-			-note "obs=off lanes must track BenchmarkTraverseParallel/BenchmarkCounterCombining within noise (<=2%)"
+			-note "obs=off lanes must track BenchmarkTraverseParallel/BenchmarkCounterCombining within noise (<=2%); flight=on/off lease ratio <= 1.02"
 
 # Adaptive-engine load sweep (docs/PERFORMANCE.md, "Adaptive engine"):
 # countbench -sweep walks g ∈ {1,2,4,8,16,32} over the width-16
@@ -144,6 +146,16 @@ obs-smoke:
 	kill -INT $$CB 2>/dev/null; wait $$CB 2>/dev/null; \
 	exit $$RC
 
+# Fleet observability smoke: a 2-worker in-process scenario run must
+# produce the merged per-phase fleet table (worker snapshots streamed
+# over the harness protocol, folded with obs.Merge). Run by the CI
+# bench-smoke job.
+fleet-smoke:
+	$(GO) build -o bin/scenarios ./cmd/scenarios
+	./bin/scenarios -scenario burst -workers 2 -duration 60ms \
+		| grep -q "fleet phase" \
+		&& echo "fleet-smoke: merged fleet table rendered"
+
 # Multi-process traffic harness (docs/TESTING.md, "Layer 6"). Both
 # targets launch real countbench -worker OS processes coordinated
 # through the counting-network-backed sync server, and fail unless the
@@ -179,6 +191,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzComparatorsSort -fuzztime=30s ./internal/runner
 	$(GO) test -fuzz=FuzzKernelVsSort -fuzztime=30s ./internal/runner
 	$(GO) test -fuzz=FuzzJSONUnmarshal -fuzztime=30s ./internal/network
+	$(GO) test -run '^$$' -fuzz=FuzzSnapshotMerge -fuzztime=30s ./internal/obs
 	$(GO) test -run '^$$' -fuzz=FuzzCounterSchedules -fuzztime=30s ./internal/counter
 	$(GO) test -run '^$$' -fuzz=FuzzAdaptiveSchedules -fuzztime=30s ./internal/counter
 	$(GO) test -run '^$$' -fuzz=FuzzPoolSchedules -fuzztime=30s ./internal/pool

@@ -487,7 +487,8 @@ func BenchmarkTraverseBatch(b *testing.B) {
 // they opt in) and with it recording (obs=on). The obs=off rows must
 // track the seed benchmarks within noise; `make bench-obs` commits
 // both sides to BENCH_obs.json and benchjson -overhead reports the
-// ratio.
+// ratio. The flight=off/flight=on pair guards the flight recorder the
+// same way at its block-lease granularity.
 func BenchmarkObsOverhead(b *testing.B) {
 	n, err := core.L(4, 4)
 	if err != nil {
@@ -524,6 +525,35 @@ func BenchmarkObsOverhead(b *testing.B) {
 					h.Next()
 				}
 			})
+		})
+	}
+
+	// The flight lanes measure the recorder at its deployed
+	// granularity — one fixed-size event per 64-value block lease, the
+	// harness's NextBlock cadence — first with the default recorder
+	// disabled (one atomic pointer load + nil check per lease) and then
+	// recording into the ring. The on/off ratio is the recorder's
+	// whole-workload cost and must stay within noise (<=2%).
+	for _, mode := range []string{"flight=off", "flight=on"} {
+		flightOn := mode == "flight=on"
+		b.Run("lease_"+n.Name+"/"+mode, func(b *testing.B) {
+			if flightOn {
+				obs.EnableFlight(obs.DefaultFlightSlots)
+			}
+			defer obs.DisableFlight()
+			c := counter.NewCombiningCounter(n)
+			var id atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				h := c.Handle(int(id.Add(1)))
+				for pb.Next() {
+					first := h.Next()
+					for i := 1; i < 64; i++ {
+						h.Next()
+					}
+					obs.RecordFlight(obs.FlightBlockLease, first, 64)
+				}
+			})
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*64), "ns/value")
 		})
 	}
 }

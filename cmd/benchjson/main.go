@@ -56,7 +56,7 @@ func main() {
 		out      = flag.String("out", "BENCH_plan.json", "output JSON file (existing sets other than -set are preserved)")
 		set      = flag.String("set", "current", "name of the result set to write")
 		note     = flag.String("note", "", "free-form note stored with the set")
-		overhead = flag.Bool("overhead", false, "pair results differing only in an obs=off/obs=on suffix and store their ns/op ratios as the set's overhead table")
+		overhead = flag.Bool("overhead", false, "pair results differing only in an obs=off/on or flight=off/on suffix and store their ns/op ratios as the set's overhead table")
 	)
 	flag.Parse()
 
@@ -162,18 +162,21 @@ func parse(sc *bufio.Scanner) ([]Result, error) {
 	return results, sc.Err()
 }
 
-// overheadTable pairs results whose names differ only in an "obs=off"
-// vs "obs=on" component and maps each base name (the name with the
-// component dropped) to the on/off ns/op ratio.
+// overheadTable pairs results whose names differ only in an off/on
+// lane component ("obs=off" vs "obs=on", "flight=off" vs "flight=on")
+// and maps each base name (the name with the component dropped) to
+// the on/off ns/op ratio.
 func overheadTable(results []Result) map[string]float64 {
 	off := map[string]float64{}
 	on := map[string]float64{}
 	for _, r := range results {
-		if strings.Contains(r.Name, "obs=off") {
-			off[strings.ReplaceAll(r.Name, "obs=off", "")] = r.NsPerOp
-		}
-		if strings.Contains(r.Name, "obs=on") {
-			on[strings.ReplaceAll(r.Name, "obs=on", "")] = r.NsPerOp
+		for _, dim := range []string{"obs", "flight"} {
+			if strings.Contains(r.Name, dim+"=off") {
+				off[strings.ReplaceAll(r.Name, dim+"=off", "")] = r.NsPerOp
+			}
+			if strings.Contains(r.Name, dim+"=on") {
+				on[strings.ReplaceAll(r.Name, dim+"=on", "")] = r.NsPerOp
+			}
 		}
 	}
 	table := map[string]float64{}

@@ -11,6 +11,8 @@ const sample = `goos: linux
 BenchmarkObsOverhead/traverse_L(4,4)/obs=off-8   1000   100.0 ns/op   0 B/op   0 allocs/op
 BenchmarkObsOverhead/traverse_L(4,4)/obs=on-8    1000   150.0 ns/op   0 B/op   0 allocs/op
 BenchmarkObsOverhead/combining_L(4,4)/obs=off-8  1000   200.0 ns/op
+BenchmarkObsOverhead/lease_L(4,4)/flight=off-8   1000   400.0 ns/op
+BenchmarkObsOverhead/lease_L(4,4)/flight=on-8    1000   404.0 ns/op
 BenchmarkCounter/plain-8                         1000   50.0 ns/op
 PASS
 `
@@ -20,21 +22,26 @@ func TestParseAndOverheadTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 4 {
-		t.Fatalf("parsed %d results, want 4", len(results))
+	if len(results) != 6 {
+		t.Fatalf("parsed %d results, want 6", len(results))
 	}
 	if results[0].Name != "BenchmarkObsOverhead/traverse_L(4,4)/obs=off" {
 		t.Fatalf("GOMAXPROCS suffix not stripped: %q", results[0].Name)
 	}
 
 	table := overheadTable(results)
-	// Only traverse has both lanes; combining lacks obs=on and the
-	// plain benchmark has neither, so exactly one pair forms.
-	if len(table) != 1 {
-		t.Fatalf("overhead table %v, want exactly the traverse pair", table)
+	// traverse has both obs lanes and lease both flight lanes;
+	// combining lacks obs=on and the plain benchmark has neither, so
+	// exactly two pairs form.
+	if len(table) != 2 {
+		t.Fatalf("overhead table %v, want the traverse and lease pairs", table)
 	}
 	got, ok := table["BenchmarkObsOverhead/traverse_L(4,4)"]
 	if !ok || math.Abs(got-1.5) > 1e-9 {
-		t.Fatalf("overhead ratio = %v (ok=%v), want 1.5", got, ok)
+		t.Fatalf("obs overhead ratio = %v (ok=%v), want 1.5", got, ok)
+	}
+	got, ok = table["BenchmarkObsOverhead/lease_L(4,4)"]
+	if !ok || math.Abs(got-1.01) > 1e-9 {
+		t.Fatalf("flight overhead ratio = %v (ok=%v), want 1.01", got, ok)
 	}
 }

@@ -78,6 +78,13 @@ func main() {
 		return
 	}
 
+	if cfg.Obs {
+		// The flight recorder marks every measurement window edge, so a
+		// scrape of /debug/flight during a soak shows which cell was
+		// running when a metric moved.
+		obs.EnableFlight(obs.DefaultFlightSlots)
+	}
+
 	var srv *obs.Server
 	if cfg.HTTPAddr != "" {
 		var err error
@@ -86,7 +93,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "countbench:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "countbench: observability endpoint on http://%s/ (/snapshot, /metrics, /debug/vars)\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "countbench: observability endpoint on http://%s/ (/snapshot, /metrics, /debug/vars, /debug/flight)\n", srv.Addr())
 	}
 
 	if cfg.Sweep {
@@ -157,6 +164,7 @@ func runTables(ctx context.Context, cfg *config) {
 		row := []interface{}{name}
 		for _, g := range steps {
 			phase := fmt.Sprintf("g=%d", g)
+			obs.RecordFlight(obs.FlightPhaseStart, int64(g), int64(block))
 			s := stats.Repeat(repeat, func() float64 {
 				if ctx.Err() != nil {
 					return 0
@@ -174,6 +182,7 @@ func runTables(ctx context.Context, cfg *config) {
 				})
 				return rate
 			})
+			obs.RecordFlight(obs.FlightPhaseEnd, int64(g), int64(s.Mean))
 			cell := fmt.Sprintf("%.2fM", s.Mean/1e6)
 			if repeat > 1 {
 				cell += fmt.Sprintf("±%.0f%%", 100*s.RelStddev())

@@ -25,21 +25,23 @@ import (
 
 	"countnet/internal/bench"
 	"countnet/internal/harness"
+	"countnet/internal/obs"
 )
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list scenarios and exit")
-		scenario = flag.String("scenario", "burst", "scenario name, or 'all' for the full sweep")
-		workers  = flag.Int("workers", 2, "worker processes at run start")
-		width    = flag.Int("width", 8, "sync server counting-network width (composite, >= 4)")
-		duration = flag.Duration("duration", 300*time.Millisecond, "draw-loop length per phase")
-		block    = flag.Int("block", 4, "values leased per draw call")
-		seed     = flag.Int64("seed", 1, "plan seed (printed and recorded for reproduction)")
-		bin      = flag.String("bin", "", "worker binary (countbench); empty runs workers in-process")
-		out      = flag.String("out", "", "directory for per-worker record files (benchjson merges them)")
-		timeout  = flag.Duration("timeout", 2*time.Minute, "per-phase safety timeout")
-		verbose  = flag.Bool("v", false, "log harness progress to stderr")
+		list      = flag.Bool("list", false, "list scenarios and exit")
+		scenario  = flag.String("scenario", "burst", "scenario name, or 'all' for the full sweep")
+		workers   = flag.Int("workers", 2, "worker processes at run start")
+		width     = flag.Int("width", 8, "sync server counting-network width (composite, >= 4)")
+		duration  = flag.Duration("duration", 300*time.Millisecond, "draw-loop length per phase")
+		block     = flag.Int("block", 4, "values leased per draw call")
+		seed      = flag.Int64("seed", 1, "plan seed (printed and recorded for reproduction)")
+		bin       = flag.String("bin", "", "worker binary (countbench); empty runs workers in-process")
+		out       = flag.String("out", "", "directory for per-worker record files (benchjson merges them)")
+		flightDir = flag.String("flight-dir", "", "directory for per-worker flight-recorder dumps on kills or oracle failure")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "per-phase safety timeout")
+		verbose   = flag.Bool("v", false, "log harness progress to stderr")
 	)
 	flag.Parse()
 
@@ -69,9 +71,15 @@ func main() {
 		Block:         *block,
 		Seed:          *seed,
 	}
+	// The runner process hosts the sync server, so its default flight
+	// recorder captures the hub-side block leases and barrier checks;
+	// workers carry their own recorders and stream dumps back over the
+	// protocol.
+	obs.EnableFlight(obs.DefaultFlightSlots)
 	ropt := harness.RunnerOptions{
 		Bin:          *bin,
 		OutDir:       *out,
+		FlightDir:    *flightDir,
 		PhaseTimeout: *timeout,
 	}
 	if *bin != "" {
@@ -111,6 +119,13 @@ func runOne(sc harness.Scenario, opt harness.Options, ropt harness.RunnerOptions
 		return err
 	}
 	if err := res.Check(); err != nil {
+		if ropt.FlightDir != "" {
+			if paths, werr := res.WriteFlightDumps(ropt.FlightDir); werr == nil {
+				fmt.Fprintf(os.Stderr, "scenarios: wrote %d flight dumps to %s for post-mortem\n", len(paths), ropt.FlightDir)
+			} else {
+				fmt.Fprintf(os.Stderr, "scenarios: flight dumps: %v\n", werr)
+			}
+		}
 		return fmt.Errorf("cross-process oracle: %w", err)
 	}
 
@@ -140,6 +155,9 @@ func runOne(sc harness.Scenario, opt harness.Options, ropt harness.RunnerOptions
 			fmtNs(row.NsPerOp), fmtNs(row.Extra["p99_ns"]))
 	}
 	tbl.Fprint(os.Stdout)
+	if ft := res.FleetTable(); ft != "" {
+		fmt.Print(ft)
+	}
 
 	total := 0
 	for _, vals := range res.Issued {

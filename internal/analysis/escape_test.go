@@ -15,26 +15,39 @@ func TestEscapeCheckSeededMutant(t *testing.T) {
 		t.Fatalf("EscapeCheck: %v", err)
 	}
 	proved := strings.Join(rep.Proved, "\n")
-	for _, want := range []string{"Sum", "Panicky", "Allowed"} {
+	for _, want := range []string{"Sum", "Panicky", "Allowed", "Record"} {
 		if !strings.Contains(proved, want) {
 			t.Errorf("proved list missing %s:\n%s", want, proved)
 		}
 	}
-	if strings.Contains(proved, "Box") {
-		t.Errorf("seeded mutant Box wrongly proved:\n%s", proved)
+	for _, mutant := range []string{"Box", "LeakEvent"} {
+		if strings.Contains(proved, mutant) {
+			t.Errorf("seeded mutant %s wrongly proved:\n%s", mutant, proved)
+		}
 	}
 	if len(rep.Findings) == 0 {
-		t.Fatalf("seeded heap-escape mutant produced no findings")
+		t.Fatalf("seeded heap-escape mutants produced no findings")
 	}
+	caught := map[string]bool{}
 	for _, f := range rep.Findings {
-		if !strings.Contains(f.Message, "Box") {
-			t.Errorf("unexpected finding outside Box: %s", f)
+		switch {
+		case strings.Contains(f.Message, "Box"):
+			caught["Box"] = true
+		case strings.Contains(f.Message, "LeakEvent"):
+			caught["LeakEvent"] = true
+		default:
+			t.Errorf("unexpected finding outside the seeded mutants: %s", f)
 		}
 		if !strings.Contains(f.Message, "moved to heap") && !strings.Contains(f.Message, "escapes to heap") {
 			t.Errorf("finding does not carry a compiler escape message: %s", f)
 		}
-		if !strings.HasSuffix(f.Position.Filename, "esc.go") {
+		if !strings.HasSuffix(f.Position.Filename, "esc.go") && !strings.HasSuffix(f.Position.Filename, "ring.go") {
 			t.Errorf("finding resolved to wrong file: %s", f)
+		}
+	}
+	for _, mutant := range []string{"Box", "LeakEvent"} {
+		if !caught[mutant] {
+			t.Errorf("seeded mutant %s produced no finding", mutant)
 		}
 	}
 }

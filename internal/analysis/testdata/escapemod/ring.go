@@ -1,0 +1,39 @@
+package escapemod
+
+import "sync/atomic"
+
+// Ring is a miniature of the flight recorder's hot path: a fixed ring
+// of atomically published slots. Record must stay allocation-free —
+// the slot pointer is derived from the receiver and never leaves the
+// function.
+type Ring struct {
+	next  atomic.Uint64
+	slots [8]ringSlot
+}
+
+type ringSlot struct {
+	seq atomic.Int64
+	a   atomic.Int64
+}
+
+// Record claims the next slot and publishes the payload under a
+// seqlock: proved.
+//
+//netvet:hotpath
+func (r *Ring) Record(a int64) {
+	i := r.next.Add(1) - 1
+	s := &r.slots[i&7]
+	s.seq.Store(0)
+	s.a.Store(a)
+	s.seq.Store(int64(i) + 1)
+}
+
+// LeakEvent is the recorder-shaped seeded mutant: boxing the event to
+// return it moves the local to the heap, breaking the alloc-free
+// contract, and the prover must fail on it.
+//
+//netvet:hotpath
+func (r *Ring) LeakEvent(a int64) *int64 {
+	e := a + int64(r.next.Load())
+	return &e
+}

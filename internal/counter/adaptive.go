@@ -510,6 +510,7 @@ func (c *AdaptiveCounter) switchTo(kind EngineKind, reason string) bool {
 	}
 	//netvet:epoch seal
 	e.sealed.Store(true)
+	obs.RecordFlight(obs.FlightEpochSeal, int64(e.kind), int64(kind))
 	// Drain: every handle mid-draw in e has published e in its slot
 	// (publish precedes its seal check, seq-cst); wait until each has
 	// retired. Handles that published after seeing the seal unpublish
@@ -521,6 +522,7 @@ func (c *AdaptiveCounter) switchTo(kind EngineKind, reason string) bool {
 			runtime.Gosched()
 		}
 	}
+	obs.RecordFlight(obs.FlightEpochDrain, int64(e.kind), int64(len(*c.slots.Load())))
 	//netvet:epoch fence install
 	c.install(e, kind, reason)
 	return true
@@ -537,8 +539,11 @@ func (c *AdaptiveCounter) switchTo(kind EngineKind, reason string) bool {
 func (c *AdaptiveCounter) install(e *adaptiveEpoch, kind EngineKind, reason string) {
 	//netvet:epoch fence
 	c.base = e.offset + c.engineIssued(e.kind)
+	obs.RecordFlight(obs.FlightEpochFence, int64(e.kind), c.base)
 	//netvet:epoch install
 	c.cur.Store(&adaptiveEpoch{kind: kind, offset: c.base - c.engineIssued(kind)})
+	obs.RecordFlight(obs.FlightEpochInstall, int64(kind), c.base)
+	obs.RecordFlight(obs.FlightStrategySwitch, int64(e.kind), int64(kind))
 	c.switches.Add(1)
 	if o := c.watch; o != nil {
 		o.Switches.Inc()

@@ -15,6 +15,7 @@ import (
 	"countnet/internal/core"
 	"countnet/internal/factor"
 	"countnet/internal/harness/syncsrv"
+	"countnet/internal/obs"
 )
 
 // fastOptions keeps e2e runs brisk: short phases, small network.
@@ -200,15 +201,58 @@ func TestWorkerProtocol(t *testing.T) {
 	}
 
 	var msgs []Message
+	var obsMsgs []Message
 	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
 		var m Message
 		if err := json.Unmarshal([]byte(line), &m); err != nil {
 			t.Fatalf("undecodable %q: %v", line, err)
 		}
+		if m.Op == "obs" {
+			// Snapshot streaming rides the same pipe; the control
+			// protocol below is checked without it.
+			obsMsgs = append(obsMsgs, m)
+			continue
+		}
 		msgs = append(msgs, m)
 	}
 	if len(msgs) != 3 || msgs[0].Op != "ready" || msgs[1].Op != "record" || msgs[2].Op != "bye" {
 		t.Fatalf("protocol = %+v", msgs)
+	}
+	// The end-of-phase snapshot always precedes the record; it must
+	// describe this worker's draw traffic, tagged with its identity.
+	if len(obsMsgs) == 0 {
+		t.Fatal("worker sent no obs snapshots")
+	}
+	last := obsMsgs[len(obsMsgs)-1]
+	if last.Snapshot == nil || last.PhaseIndex != 0 {
+		t.Fatalf("obs message = %+v", last)
+	}
+	g := last.Snapshot.Group("worker")
+	if g == nil || g.Origin != "w0" {
+		t.Fatalf("obs snapshot group = %+v", g)
+	}
+	var draws int64
+	for _, c := range g.Counters {
+		if c.Name == "draws" {
+			draws = c.Value
+		}
+	}
+	if draws != 5 {
+		t.Fatalf("obs snapshot draws = %d, want 5", draws)
+	}
+	// The bye line carries the flight dump: phase edges, barrier
+	// arrivals, and one block lease per draw.
+	flight := msgs[2].Flight
+	if len(flight) == 0 {
+		t.Fatal("bye carried no flight dump")
+	}
+	kinds := map[obs.FlightKind]int{}
+	for _, e := range flight {
+		kinds[e.Kind]++
+	}
+	if kinds[obs.FlightPhaseStart] != 1 || kinds[obs.FlightPhaseEnd] != 1 ||
+		kinds[obs.FlightBlockLease] != 5 || kinds[obs.FlightBarrierArrive] != 2 {
+		t.Fatalf("flight kind counts = %v", kinds)
 	}
 	rec := msgs[1].Record
 	if rec == nil || rec.Ops != 5 || rec.ValuesDrawn != 10 || len(rec.Values) != 10 {

@@ -15,6 +15,8 @@ package harness
 import (
 	"strconv"
 	"time"
+
+	"countnet/internal/obs"
 )
 
 // PhaseSpec tells a worker how to run one measurement phase. The
@@ -72,12 +74,23 @@ type Command struct {
 // Message is one worker-to-runner line.
 type Message struct {
 	// Op is "ready" (registration done), "record" (phase finished,
-	// Record set), "dying" (injected crash point reached), "bye"
-	// (exit acknowledged), or "error" (Err set; worker is giving up).
+	// Record set), "obs" (Snapshot set — a periodic or end-of-phase
+	// observability report), "dying" (injected crash point reached;
+	// Flight carries the recorder's last events), "bye" (exit
+	// acknowledged; Flight set), or "error" (Err set; worker is
+	// giving up).
 	Op     string       `json:"op"`
 	Worker string       `json:"worker"`
 	Record *PhaseRecord `json:"record,omitempty"`
-	Err    string       `json:"err,omitempty"`
+	// Snapshot is the worker's local obs registry state ("obs" lines).
+	// PhaseIndex says which phase it describes; the runner merges
+	// same-phase snapshots across workers into the fleet table.
+	Snapshot   *obs.Snapshot `json:"snapshot,omitempty"`
+	PhaseIndex int           `json:"phase_index,omitempty"`
+	// Flight is the worker's flight-recorder dump, attached to dying
+	// (forensics before the SIGKILL lands) and bye (final dump).
+	Flight []obs.FlightEvent `json:"flight,omitempty"`
+	Err    string            `json:"err,omitempty"`
 }
 
 // PhaseRecord is one worker's measurement of one phase: the values it

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+
+	"countnet/internal/obs"
 )
 
 // WorkerFile is the per-worker artifact a run leaves on disk: every
@@ -28,6 +30,42 @@ func WriteWorkerFile(path string, wf *WorkerFile) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FlightFile is the per-worker post-mortem artifact: the worker's
+// flight-recorder dump (ordered fixed-size events — phase edges,
+// barrier arrivals, block leases, epoch transitions) plus the run
+// coordinates needed to line it up against the other workers' dumps.
+// Written by RunResult.WriteFlightDumps when a kill scenario fires or
+// the post-run oracle fails.
+type FlightFile struct {
+	Worker   string            `json:"worker"`
+	Scenario string            `json:"scenario"`
+	Seed     int64             `json:"seed"`
+	Lost     bool              `json:"lost,omitempty"` // killed mid-run
+	Events   []obs.FlightEvent `json:"events"`
+}
+
+// WriteFlightFile writes the dump as indented JSON.
+func WriteFlightFile(path string, ff *FlightFile) error {
+	data, err := json.MarshalIndent(ff, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFlightFile reads an artifact written by WriteFlightFile.
+func ReadFlightFile(path string) (*FlightFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ff FlightFile
+	if err := json.Unmarshal(data, &ff); err != nil {
+		return nil, fmt.Errorf("harness: %s is not a flight dump file: %w", path, err)
+	}
+	return &ff, nil
 }
 
 // ReadWorkerFile reads an artifact written by WriteWorkerFile.

@@ -11,12 +11,14 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"countnet/internal/core"
 	"countnet/internal/factor"
 	"countnet/internal/harness/syncsrv"
+	"countnet/internal/obs"
 )
 
 // RunnerOptions configures process supervision, independent of the
@@ -37,6 +39,11 @@ type RunnerOptions struct {
 	// PhaseTimeout aborts a phase whose workers stop responding
 	// (default 2m) — the harness must fail loudly, not hang CI.
 	PhaseTimeout time.Duration
+	// FlightDir, when set, receives per-worker flight-recorder dumps
+	// whenever a kill scenario fires (a worker was lost mid-run). The
+	// caller can also dump unconditionally via WriteFlightDumps — the
+	// scenarios command does so when the post-run oracle fails.
+	FlightDir string
 }
 
 // RunResult is everything one scenario run produced.
@@ -50,8 +57,72 @@ type RunResult struct {
 	Records map[string][]PhaseRecord
 	Issued  map[string][]int64
 	Lost    map[string]bool
+	// Fleet maps phase index to the merged cross-worker obs snapshot
+	// for that phase (each worker's latest "obs" line, folded with
+	// obs.Merge; Origin names the contributing workers).
+	Fleet map[int]*obs.Snapshot
+	// Flights maps worker id to its final flight-recorder dump (from
+	// the bye line, or the dying line for killed workers).
+	Flights map[string][]obs.FlightEvent
 	// Files lists the worker artifacts written to OutDir.
 	Files []string
+}
+
+// FleetTable renders one merged per-phase table over every worker's
+// obs snapshots: phase headers name the contributing workers, and
+// chaining each phase's cumulative fleet snapshot against the
+// previous phase's turns the counter columns into per-phase deltas.
+func (r *RunResult) FleetTable() string {
+	var b strings.Builder
+	var prev *obs.Snapshot
+	var prevTaken int64
+	for i, step := range r.Steps {
+		s := r.Fleet[i]
+		if s == nil {
+			continue
+		}
+		origins := ""
+		if g := s.Group("worker"); g != nil {
+			origins = g.Origin
+		}
+		fmt.Fprintf(&b, "== fleet phase %d (%s) workers[%s] ==\n", i, step.Name, origins)
+		var elapsed time.Duration
+		if prev != nil && s.TakenUnixNano > prevTaken {
+			elapsed = time.Duration(s.TakenUnixNano - prevTaken)
+		}
+		b.WriteString(obs.RenderTable(prev, *s, elapsed))
+		prev, prevTaken = s, s.TakenUnixNano
+	}
+	return b.String()
+}
+
+// WriteFlightDumps writes one flight-<scenario>-<worker>.json
+// artifact per worker dump into dir, returning the paths.
+func (r *RunResult) WriteFlightDumps(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	ids := make([]string, 0, len(r.Flights))
+	for id := range r.Flights {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var paths []string
+	for _, id := range ids {
+		ff := &FlightFile{
+			Worker:   id,
+			Scenario: r.Scenario,
+			Seed:     r.Seed,
+			Lost:     r.Lost[id],
+			Events:   r.Flights[id],
+		}
+		path := filepath.Join(dir, fmt.Sprintf("flight-%s-%s.json", r.Scenario, id))
+		if err := WriteFlightFile(path, ff); err != nil {
+			return nil, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
 }
 
 // Check runs the cross-process oracle over the result.
@@ -148,17 +219,38 @@ func Run(sc Scenario, opt Options, ropt RunnerOptions) (*RunResult, error) {
 		Records:  map[string][]PhaseRecord{},
 		Issued:   hub.IssueLog(),
 		Lost:     map[string]bool{},
+		Fleet:    map[int]*obs.Snapshot{},
+		Flights:  map[string][]obs.FlightEvent{},
 	}
 	for _, p := range r.all {
 		res.Records[p.id] = p.records
 		if p.lost {
 			res.Lost[p.id] = true
 		}
+		// Fold each worker's latest per-phase snapshot into the fleet
+		// view. Snapshots are cumulative per worker, so only the latest
+		// one per (worker, phase) enters the merge — merging two
+		// snapshots of the same registry would double-count.
+		for idx, s := range p.snaps {
+			res.Fleet[idx] = obs.Merge(res.Fleet[idx], s)
+		}
+		if p.flight != nil {
+			res.Flights[p.id] = p.flight
+		}
 	}
 	if ropt.OutDir != "" {
 		if err := writeArtifacts(res, ropt.OutDir); err != nil {
 			return nil, err
 		}
+	}
+	if ropt.FlightDir != "" && len(res.Lost) > 0 {
+		// A kill scenario fired: leave every worker's post-mortem ring
+		// on disk beside the run artifacts.
+		paths, err := res.WriteFlightDumps(ropt.FlightDir)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(ropt.Log, "harness: scenario %s: wrote %d flight dumps to %s\n", sc.Name, len(paths), ropt.FlightDir)
 	}
 	return res, nil
 }
@@ -212,13 +304,19 @@ type proc struct {
 	done    chan struct{}
 	lost    bool
 	records []PhaseRecord
+	// snaps holds the worker's latest obs snapshot per phase index;
+	// flight its latest flight-recorder dump. Both are fed by next()
+	// as the lines arrive; access is serialized because exactly one
+	// goroutine awaits a given worker at a time.
+	snaps  map[int]*obs.Snapshot
+	flight []obs.FlightEvent
 }
 
 // spawn starts the next worker and waits for its ready line.
 func (r *runner) spawn() error {
 	id := WorkerID(r.nextID)
 	r.nextID++
-	p := &proc{id: id, lines: make(chan Message, 4), done: make(chan struct{})}
+	p := &proc{id: id, lines: make(chan Message, 4), done: make(chan struct{}), snaps: map[int]*obs.Snapshot{}}
 
 	var out io.Reader
 	if r.ropt.Bin == "" {
@@ -293,21 +391,36 @@ func procKind(p *proc) string {
 	return fmt.Sprintf("pid %d", p.cmd.Process.Pid)
 }
 
-// next awaits the worker's next protocol message.
+// next awaits the worker's next protocol message. Observability lines
+// ("obs" snapshots, flight dumps riding other ops) are stashed on the
+// proc as they pass through, so callers only ever see the control
+// flow: ready/record/dying/bye.
 func (p *proc) next(timeout time.Duration) (Message, error) {
 	t := time.NewTimer(timeout)
 	defer t.Stop()
-	select {
-	case m, ok := <-p.lines:
-		if !ok {
-			return Message{}, fmt.Errorf("worker %s output ended", p.id)
+	for {
+		select {
+		case m, ok := <-p.lines:
+			if !ok {
+				return Message{}, fmt.Errorf("worker %s output ended", p.id)
+			}
+			if len(m.Flight) > 0 {
+				// Dumps are cumulative ring contents; the latest wins.
+				p.flight = m.Flight
+			}
+			if m.Op == "obs" {
+				if m.Snapshot != nil {
+					p.snaps[m.PhaseIndex] = m.Snapshot
+				}
+				continue
+			}
+			if m.Op == "error" {
+				return m, fmt.Errorf("worker %s failed: %s", p.id, m.Err)
+			}
+			return m, nil
+		case <-t.C:
+			return Message{}, fmt.Errorf("worker %s: no message within %s", p.id, timeout)
 		}
-		if m.Op == "error" {
-			return m, fmt.Errorf("worker %s failed: %s", p.id, m.Err)
-		}
-		return m, nil
-	case <-t.C:
-		return Message{}, fmt.Errorf("worker %s: no message within %s", p.id, timeout)
 	}
 }
 

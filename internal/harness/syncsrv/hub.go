@@ -24,6 +24,7 @@ import (
 
 	"countnet/internal/counter"
 	"countnet/internal/network"
+	"countnet/internal/obs"
 )
 
 // Hub is the in-memory coordination state behind one harness run. All
@@ -86,6 +87,7 @@ func (h *Hub) Quiesce() error {
 	defer h.mu.Unlock()
 	for state, b := range h.barriers {
 		if err := b.quiesce(); err != nil {
+			obs.RecordFlight(obs.FlightOracleViolation, int64(len(h.barriers)), 0)
 			return fmt.Errorf("syncsrv: barrier %q: %w", state, err)
 		}
 	}
@@ -248,6 +250,7 @@ func (h *Hub) Draw(worker string, n int) ([]int64, error) {
 	// not on one lock.
 	vals := make([]int64, n)
 	h.draw.NextBlock(vals)
+	obs.RecordFlight(obs.FlightBlockLease, vals[0], int64(n))
 
 	h.mu.Lock()
 	h.issued[worker] = append(h.issued[worker], vals...)

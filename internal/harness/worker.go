@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"countnet/internal/harness/syncsrv"
+	"countnet/internal/obs"
 	"countnet/internal/stats"
 )
 
@@ -20,6 +21,38 @@ type WorkerOptions struct {
 	ID string
 	// SyncURL is the base URL of the syncsrv coordination server.
 	SyncURL string
+	// ObsEvery is the period of mid-phase "obs" snapshot lines
+	// (default 50ms; negative disables periodic lines — the
+	// end-of-phase snapshot is always sent).
+	ObsEvery time.Duration
+}
+
+// DefaultObsEvery is the default mid-phase snapshot streaming period.
+const DefaultObsEvery = 50 * time.Millisecond
+
+// workerObs is the worker's own obs group: its draw traffic and
+// latency, registered as group "worker" in the worker-local registry
+// so every worker's contribution merges into one fleet group keyed by
+// Origin.
+type workerObs struct {
+	draws  obs.PaddedCount
+	values obs.PaddedCount
+	phases obs.PaddedCount
+	drawNs *obs.Hist
+}
+
+func newWorkerObs() *workerObs { return &workerObs{drawNs: obs.NewHist()} }
+
+func (o *workerObs) GroupSnapshot() obs.GroupSnapshot {
+	return obs.GroupSnapshot{
+		Kind: "worker",
+		Counters: []obs.Metric{
+			{Name: "draws", Value: o.draws.Load()},
+			{Name: "phases", Value: o.phases.Load()},
+			{Name: "values", Value: o.values.Load()},
+		},
+		Hists: []obs.HistMetric{{Name: "draw_ns", Hist: o.drawNs.Snapshot()}},
+	}
 }
 
 // RunWorker is the worker side of the harness protocol: register with
@@ -28,11 +61,20 @@ type WorkerOptions struct {
 // exit command arrives, when in closes, or when ctx is canceled. This
 // is what `countbench -worker` runs.
 func RunWorker(ctx context.Context, in io.Reader, out io.Writer, opt WorkerOptions) error {
-	w := &worker{
-		id:     opt.ID,
-		client: syncsrv.NewClient(opt.SyncURL),
-		enc:    json.NewEncoder(out),
+	obsEvery := opt.ObsEvery
+	if obsEvery == 0 {
+		obsEvery = DefaultObsEvery
 	}
+	w := &worker{
+		id:       opt.ID,
+		client:   syncsrv.NewClient(opt.SyncURL),
+		enc:      json.NewEncoder(out),
+		reg:      obs.NewRegistry(),
+		flight:   obs.NewFlightRecorder(obs.DefaultFlightSlots),
+		wobs:     newWorkerObs(),
+		obsEvery: obsEvery,
+	}
+	w.reg.Register("worker", w.wobs)
 	if opt.ID == "" {
 		return w.fail(fmt.Errorf("harness: worker needs an id"))
 	}
@@ -68,14 +110,17 @@ func RunWorker(ctx context.Context, in io.Reader, out io.Writer, opt WorkerOptio
 				// until killed (process workers) or canceled
 				// (in-process workers). No record, no end barrier —
 				// from the coordination system's point of view this
-				// worker just vanished mid-phase.
-				w.send(Message{Op: "dying", Worker: w.id})
+				// worker just vanished mid-phase. The flight dump rides
+				// the dying line: the forensics leave the process
+				// before the SIGKILL lands.
+				w.send(Message{Op: "dying", Worker: w.id, Flight: w.flight.Dump()})
 				<-ctx.Done()
 				return ctx.Err()
 			}
+			w.sendObs(cmd.Phase.Index)
 			w.send(Message{Op: "record", Worker: w.id, Record: rec})
 		case "exit":
-			w.send(Message{Op: "bye", Worker: w.id})
+			w.send(Message{Op: "bye", Worker: w.id, Flight: w.flight.Dump()})
 			return nil
 		default:
 			return w.fail(fmt.Errorf("harness: unknown command op %q", cmd.Op))
@@ -88,9 +133,23 @@ func RunWorker(ctx context.Context, in io.Reader, out io.Writer, opt WorkerOptio
 }
 
 type worker struct {
-	id     string
-	client *syncsrv.Client
-	enc    *json.Encoder
+	id       string
+	client   *syncsrv.Client
+	enc      *json.Encoder
+	reg      *obs.Registry
+	flight   *obs.FlightRecorder
+	wobs     *workerObs
+	obsEvery time.Duration
+	lastObs  time.Time
+}
+
+// sendObs ships the worker's current obs snapshot, tagged with its
+// identity, as one "obs" protocol line for the given phase.
+func (w *worker) sendObs(phase int) {
+	s := w.reg.Snapshot()
+	s.TagOrigin(w.id)
+	w.send(Message{Op: "obs", Worker: w.id, Snapshot: &s, PhaseIndex: phase})
+	w.lastObs = time.Now()
 }
 
 // runPhase executes one phase: start barrier, draw loop, end barrier.
@@ -100,10 +159,12 @@ func (w *worker) runPhase(ctx context.Context, p *PhaseSpec) (rec *PhaseRecord, 
 	if p.Block < 1 {
 		p.Block = 1
 	}
+	w.flight.Record(obs.FlightPhaseStart, int64(p.Index), int64(p.Parties))
 	startGen, err := w.client.Barrier(p.startState(), p.Parties)
 	if err != nil {
 		return nil, false, fmt.Errorf("harness: %s start barrier: %w", p.Name, err)
 	}
+	w.flight.Record(obs.FlightBarrierArrive, int64(p.Index), startGen)
 
 	var (
 		values   []int64
@@ -125,10 +186,19 @@ func (w *worker) runPhase(ctx context.Context, p *PhaseSpec) (rec *PhaseRecord, 
 		if err != nil {
 			return nil, false, fmt.Errorf("harness: %s draw: %w", p.Name, err)
 		}
-		latNs = append(latNs, float64(time.Since(t0).Nanoseconds()))
+		drawNs := time.Since(t0).Nanoseconds()
+		latNs = append(latNs, float64(drawNs))
 		values = append(values, vals...)
 		ops++
+		w.flight.Record(obs.FlightBlockLease, vals[0], int64(len(vals)))
+		w.wobs.draws.Inc()
+		w.wobs.values.Add(int64(len(vals)))
+		w.wobs.drawNs.Observe(drawNs)
+		if w.obsEvery > 0 && time.Since(w.lastObs) >= w.obsEvery {
+			w.sendObs(p.Index)
+		}
 		if p.DieAfterOps > 0 && ops >= p.DieAfterOps {
+			w.flight.Record(obs.FlightPhaseEnd, int64(p.Index), int64(ops))
 			return nil, true, nil
 		}
 		if p.Throttle > 0 {
@@ -139,11 +209,14 @@ func (w *worker) runPhase(ctx context.Context, p *PhaseSpec) (rec *PhaseRecord, 
 		}
 	}
 	elapsed := time.Since(start)
+	w.flight.Record(obs.FlightPhaseEnd, int64(p.Index), int64(ops))
+	w.wobs.phases.Inc()
 
 	endGen, err := w.client.Barrier(p.endState(), p.Parties)
 	if err != nil {
 		return nil, false, fmt.Errorf("harness: %s end barrier: %w", p.Name, err)
 	}
+	w.flight.Record(obs.FlightBarrierArrive, int64(p.Index), endGen)
 
 	s := stats.Summarize(latNs)
 	return &PhaseRecord{

@@ -130,6 +130,15 @@ func writePrometheus(w io.Writer, s Snapshot) error {
 	return err
 }
 
+// flightDump is the /debug/flight response body: poll NextSeq, then
+// fetch deltas with ?since=N (the same pagination netmon -validate
+// checks).
+type flightDump struct {
+	Enabled bool          `json:"enabled"`
+	NextSeq uint64        `json:"next_seq"`
+	Events  []FlightEvent `json:"events"`
+}
+
 // escapeLabel escapes a Prometheus label value (the %q verb handles
 // quotes and backslashes; newlines must not survive either way).
 func escapeLabel(v string) string {
@@ -152,12 +161,29 @@ func (r *Registry) Handler() http.Handler {
 		_ = r.WritePrometheus(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		f := DefaultFlight()
+		var since uint64
+		if q := req.URL.Query().Get("since"); q != "" {
+			n, err := strconv.ParseUint(q, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			since = n
+		}
+		resp := flightDump{Enabled: f != nil, NextSeq: f.NextSeq(), Events: f.DumpSince(since)}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(resp)
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "countnet obs endpoints: /snapshot (JSON), /metrics (Prometheus), /debug/vars (expvar)\n")
+		fmt.Fprint(w, "countnet obs endpoints: /snapshot (JSON), /metrics (Prometheus), /debug/vars (expvar), /debug/flight (flight recorder)\n")
 	})
 	return mux
 }

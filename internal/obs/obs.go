@@ -107,7 +107,8 @@ type LayerSnapshot struct {
 // Status their string-valued companions.
 type GroupSnapshot struct {
 	Name     string          `json:"name"`
-	Kind     string          `json:"kind"` // network, counter, combining, pool, adaptive
+	Kind     string          `json:"kind"`             // network, counter, combining, pool, adaptive
+	Origin   string          `json:"origin,omitempty"` // worker/process the group came from; set by TagOrigin, unioned by Merge
 	Counters []Metric        `json:"counters,omitempty"`
 	Gauges   []Metric        `json:"gauges,omitempty"`
 	Status   []StatusMetric  `json:"status,omitempty"`
